@@ -1,0 +1,101 @@
+// Command benchgen generates the synthetic benchmark suite and prints its
+// vital statistics: per-design sizes, trunk-layer populations, and v-pin
+// counts per split layer — the quantities that determine attack difficulty.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"text/tabwriter"
+
+	"repro/internal/layout"
+	"repro/internal/route"
+	"repro/internal/split"
+	"repro/internal/timing"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "suite scale factor")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("o", "", "directory to write <design>.sml files to")
+	flag.Parse()
+
+	designs, err := layout.GenerateSuite(layout.SuiteConfig{Scale: *scale, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, d := range designs {
+			path := filepath.Join(*out, d.Name+".sml")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := layout.Save(f, d); err != nil {
+				f.Close()
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "design\tcells\tnets\tdie\tvpins@8\tvpins@6\tvpins@4\tmeanMatchDist@6")
+	for _, d := range designs {
+		row := fmt.Sprintf("%s\t%d\t%d\t%dx%d", d.Name,
+			len(d.Netlist.Cells), len(d.Netlist.Nets), d.Die().Width(), d.Die().Height())
+		var dist6 float64
+		for _, layer := range []int{8, 6, 4} {
+			ch, err := split.NewChallenge(d, layer)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			row += fmt.Sprintf("\t%d", len(ch.VPins))
+			if layer == 6 {
+				dist6 = ch.Summary().MeanMatchDist
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\n", row, dist6)
+	}
+	tw.Flush()
+
+	fmt.Println("\nTrunk-layer populations (nets per top metal layer):")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 2, 2, ' ', 0)
+	fmt.Fprint(tw, "design")
+	for m := 2; m <= route.NumMetal; m++ {
+		fmt.Fprintf(tw, "\tM%d", m)
+	}
+	fmt.Fprintln(tw)
+	for _, d := range designs {
+		pop := d.Routing.LayerPopulation()
+		fmt.Fprint(tw, d.Name)
+		for m := 2; m <= route.NumMetal; m++ {
+			fmt.Fprintf(tw, "\t%d", pop[m])
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+
+	fmt.Printf("\nPer-layer routing utilisation (%s):\n", designs[0].Name)
+	route.WriteStats(os.Stdout, designs[0].Routing.Stats())
+
+	fmt.Println("\nStatic timing summary:")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "design\tmean delay\tmax delay\toverloaded drivers")
+	for _, d := range designs {
+		dt := timing.Analyze(d)
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%d\n", d.Name, dt.MeanDelay, dt.MaxDelay, dt.OverloadedDrivers)
+	}
+	tw.Flush()
+}

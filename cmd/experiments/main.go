@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic benchmark suite.
+//
+// Usage:
+//
+//	experiments [-scale 1.0] [-seed 1] [-run table1,fig9 | -run all] [-list]
+//
+// Scale 1.0 corresponds to roughly 1/20th of the paper's industrial
+// designs (see DESIGN.md); smaller scales run faster with noisier numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "benchmark suite scale factor")
+	seed := flag.Int64("seed", 1, "generation and attack seed")
+	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.AllWithExtensions() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	switch *run {
+	case "all":
+		selected = experiments.All()
+	case "everything":
+		selected = experiments.AllWithExtensions()
+	default:
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("Generating benchmark suite (scale %.2f, seed %d)...\n", *scale, *seed)
+	t0 := time.Now()
+	suite, err := experiments.NewSuite(*scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, d := range suite.Designs {
+		fmt.Printf("  %-5s cells=%d nets=%d\n", d.Name, len(d.Netlist.Cells), len(d.Netlist.Nets))
+	}
+	fmt.Printf("Suite ready in %v.\n\n", time.Since(t0).Round(time.Millisecond))
+
+	for _, e := range selected {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		t := time.Now()
+		if err := e.Run(suite, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(t).Round(time.Millisecond))
+	}
+}

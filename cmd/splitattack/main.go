@@ -1,0 +1,110 @@
+// Command splitattack runs a single end-to-end attack: it generates the
+// benchmark suite, cuts every design at the chosen split layer, trains on
+// all designs except the target, and reports the target's LoC/accuracy
+// trade-off and proximity-attack results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/attack"
+	"repro/internal/layout"
+	"repro/internal/ml"
+	"repro/internal/split"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "suite scale factor")
+	seed := flag.Int64("seed", 1, "generation and attack seed")
+	layer := flag.Int("layer", 8, "split (via) layer: 1..8; the paper studies 4, 6, 8")
+	design := flag.String("design", "sb1", "target design: sb1 sb5 sb10 sb12 sb18")
+	config := flag.String("config", "Imp-11", "attack configuration: ML-9 Imp-9 Imp-7 Imp-11 (+Y suffix at layer 8)")
+	base := flag.String("base", "reptree", "bagging base classifier: reptree or randomtree")
+	pa := flag.Bool("pa", false, "also run the validation-based proximity attack")
+	flag.Parse()
+
+	cfg, ok := configByName(*config)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
+		os.Exit(2)
+	}
+	if *base == "randomtree" {
+		cfg = attack.WithBase(cfg, ml.RandomTree, 0)
+	}
+	cfg.Seed = *seed
+
+	designs, err := layout.GenerateSuite(layout.SuiteConfig{Scale: *scale, Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	target := -1
+	chs := make([]*split.Challenge, len(designs))
+	for i, d := range designs {
+		if chs[i], err = split.NewChallenge(d, *layer); err != nil {
+			fatal(err)
+		}
+		if d.Name == *design {
+			target = i
+		}
+	}
+	if target < 0 {
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		os.Exit(2)
+	}
+
+	res, err := attack.Run(cfg, chs)
+	if err != nil {
+		fatal(err)
+	}
+	ev := res.Evals[target]
+	fmt.Printf("%s at split layer %d, config %s: %d v-pins\n", *design, *layer, cfg.Name, ev.N)
+	fmt.Printf("train %v, test %v\n\n", ev.TrainDur.Round(1e6), ev.TestDur.Round(1e6))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "|LoC|\taccuracy")
+	for _, k := range []int{1, 2, 5, 10, 20, 50, 100} {
+		if k > ev.N {
+			break
+		}
+		fmt.Fprintf(tw, "%d\t%.2f%%\n", k, ev.AccuracyAtK(k)*100)
+	}
+	tw.Flush()
+	fmt.Printf("max accuracy (all scored candidates): %.2f%%\n", ev.MaxAccuracy()*100)
+	for _, acc := range []float64{0.5, 0.8, 0.9, 0.95} {
+		loc := ev.LoCForAccuracy(acc)
+		if loc < 0 {
+			fmt.Printf("|LoC| for %.0f%% accuracy: unreachable (neighborhood saturation)\n", acc*100)
+		} else {
+			fmt.Printf("|LoC| for %.0f%% accuracy: %.0f\n", acc*100, loc)
+		}
+	}
+
+	if *pa {
+		fmt.Println("\nProximity attack (validation-based PA-LoC fraction):")
+		outs, err := attack.RunProximity(cfg, chs)
+		if err != nil {
+			fatal(err)
+		}
+		o := outs[target]
+		fmt.Printf("success %.2f%% (fixed-threshold: %.2f%%), PA-LoC fraction %.4f, validation %v\n",
+			o.Success*100, o.FixedSuccess*100, o.BestFrac, o.ValidationDur.Round(1e6))
+	}
+}
+
+func configByName(name string) (attack.Config, bool) {
+	all := append(attack.StandardConfigs(), attack.StandardConfigsY()...)
+	for _, c := range all {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return attack.Config{}, false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

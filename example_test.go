@@ -1,0 +1,110 @@
+package repro_test
+
+// Godoc examples: compiled with the test suite, shown in the package
+// documentation. They have no Output comments (results depend on the
+// suite scale), so `go test` builds but does not execute them.
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"repro"
+)
+
+// Example shows the complete pipeline: generate the benchmark suite, cut
+// it at the top via layer, run the paper's attack, and inspect a design's
+// List-of-Candidates quality.
+func Example() {
+	designs, err := repro.GenerateSuite(repro.SuiteConfig{Scale: 0.3, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chs, err := repro.SplitAll(designs, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := repro.RunAttack(repro.Imp11(), chs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range res.Evals {
+		fmt.Printf("%s: accuracy with 5-candidate LoCs = %.1f%%\n",
+			ev.Design, ev.AccuracyAtK(5)*100)
+	}
+}
+
+// ExampleRunProximityAttack demonstrates the validation-based proximity
+// attack, which must name exactly one partner per v-pin.
+func ExampleRunProximityAttack() {
+	designs, _ := repro.GenerateSuite(repro.SuiteConfig{Scale: 0.3, Seed: 1})
+	chs, _ := repro.SplitAll(designs, 8)
+	outcomes, err := repro.RunProximityAttack(repro.WithY(repro.Imp9()), chs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range outcomes {
+		fmt.Printf("%s: PA success %.1f%% (PA-LoC fraction %.4f)\n",
+			o.Design, o.Success*100, o.BestFrac)
+	}
+}
+
+// ExampleEvaluateRecovery measures functional netlist recovery: how often
+// the attacker's reconstruction computes the right logic values.
+func ExampleEvaluateRecovery() {
+	designs, _ := repro.GenerateSuite(repro.SuiteConfig{Scale: 0.3, Seed: 1})
+	ch, _ := repro.Split(designs[0], 8)
+
+	// The ground-truth pairing recovers everything — the self-check.
+	rep, err := repro.EvaluateRecovery(ch, repro.TruthPairing(ch), 16, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("truth pairing: structural %.0f%%, functional %.0f%%\n",
+		rep.StructuralRate*100, rep.FunctionalRate*100)
+}
+
+// ExampleJogTrunks applies the trunk-jog defence and shows its cost.
+func ExampleJogTrunks() {
+	designs, _ := repro.GenerateSuite(repro.SuiteConfig{Scale: 0.3, Seed: 1})
+	protected, cost, err := repro.JogTrunks(designs[0], 8, 4, 1.0, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("jogged %d nets at %.2f%% wirelength overhead\n",
+		cost.ReroutedNets, cost.Overhead()*100)
+	_ = protected
+}
+
+// ExampleSaveDesign round-trips a design through the .sml exchange format.
+func ExampleSaveDesign() {
+	designs, _ := repro.GenerateSuite(repro.SuiteConfig{Scale: 0.3, Seed: 1})
+	f, err := os.CreateTemp("", "design-*.sml")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.Remove(f.Name())
+	if err := repro.SaveDesign(f, designs[0]); err != nil {
+		log.Fatal(err)
+	}
+	f.Seek(0, 0)
+	loaded, err := repro.LoadDesign(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(loaded.Name == designs[0].Name)
+}
+
+// ExampleChallenge_WithNoise evaluates the paper's obfuscation noise.
+func ExampleChallenge_WithNoise() {
+	designs, _ := repro.GenerateSuite(repro.SuiteConfig{Scale: 0.3, Seed: 1})
+	chs, _ := repro.SplitAll(designs, 6)
+	rng := rand.New(rand.NewSource(9))
+	noised := make([]*repro.Challenge, len(chs))
+	for i, ch := range chs {
+		noised[i] = ch.WithNoise(0.01, rng) // SD = 1% of die height
+	}
+	res, _ := repro.RunAttack(repro.Imp11(), noised)
+	fmt.Printf("accuracy under 1%% noise: %.1f%%\n", res.Evals[0].AccuracyAtK(10)*100)
+}

@@ -1,0 +1,95 @@
+// Defense study at the layout level: instead of abstractly noising v-pin
+// coordinates, actually change the design — re-route crossing nets with
+// amplified detours (routing perturbation) and lift shorter nets above the
+// split (wire lifting) — and measure both the security gained and the
+// wirelength the defender pays.
+//
+// Run with:
+//
+//	go run ./examples/defense
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+const splitLayer = 6
+
+// attackAccuracy runs Imp-11 leave-one-out and returns mean accuracy@10.
+func attackAccuracy(name string, designs []*repro.Design) float64 {
+	chs, err := repro.SplitAll(designs, splitLayer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := repro.Imp11()
+	cfg.Name = "Imp-11-" + name
+	res, err := repro.RunAttack(cfg, chs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var acc float64
+	for _, ev := range res.Evals {
+		acc += ev.AccuracyAtK(10)
+	}
+	return acc / float64(len(res.Evals))
+}
+
+func main() {
+	designs, err := repro.GenerateSuite(repro.SuiteConfig{Scale: 0.4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := attackAccuracy("base", designs)
+
+	type defense struct {
+		name  string
+		apply func(d *repro.Design, seed int64) (*repro.Design, repro.DefenseCost, error)
+	}
+	defenses := []defense{
+		{"perturb x2", func(d *repro.Design, seed int64) (*repro.Design, repro.DefenseCost, error) {
+			return repro.PerturbRoutes(d, splitLayer, 2.0, seed)
+		}},
+		{"perturb x4", func(d *repro.Design, seed int64) (*repro.Design, repro.DefenseCost, error) {
+			return repro.PerturbRoutes(d, splitLayer, 4.0, seed)
+		}},
+		{"lift 50% of M5/M6", func(d *repro.Design, seed int64) (*repro.Design, repro.DefenseCost, error) {
+			return repro.LiftNets(d, 5, 6, 2, 0.5, seed)
+		}},
+		{"trunk jogs <=4 tracks", func(d *repro.Design, seed int64) (*repro.Design, repro.DefenseCost, error) {
+			return repro.JogTrunks(d, splitLayer, 4, 1.0, seed)
+		}},
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 2, 2, ' ', 0)
+	fmt.Fprintf(tw, "defense\tattack acc@|LoC|=10\tdelta\twirelength overhead\n")
+	fmt.Fprintf(tw, "none\t%.1f%%\t\t\n", baseline*100)
+	for _, def := range defenses {
+		protected := make([]*repro.Design, len(designs))
+		var totalOverhead float64
+		for i, d := range designs {
+			nd, cost, err := def.apply(d, int64(1000+i))
+			if err != nil {
+				log.Fatal(err)
+			}
+			protected[i] = nd
+			totalOverhead += cost.Overhead()
+		}
+		acc := attackAccuracy(def.name, protected)
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%+.1fpp\t%.2f%%\n",
+			def.name, acc*100, (acc-baseline)*100, totalOverhead/float64(len(designs))*100)
+	}
+	tw.Flush()
+
+	fmt.Println("\nRe-routing with extra detours barely helps: legal routes stay snapped")
+	fmt.Println("to tracks, so truly matching v-pins still share exact track coordinates")
+	fmt.Println("— the attack's strongest feature survives. Lifting even helps the")
+	fmt.Println("attacker (the new cut nets are easy trunk-endpoint pairs). What works")
+	fmt.Println("is attacking the alignment invariant itself: short wrong-way jogs on")
+	fmt.Println("the metal just above the split misalign matching v-pins for under 1%")
+	fmt.Println("wirelength — the manufacturable counterpart of the paper's §III-I noise.")
+}

@@ -1,0 +1,71 @@
+// Obfuscation study (defender's view): how much Gaussian routing noise is
+// needed to blunt the machine-learning attack? Reproduces the spirit of
+// the paper's §III-I / §IV-G on a reduced-scale suite: a noise SD around
+// 1% of the die height collapses the attack, and more noise adds little.
+//
+// Run with:
+//
+//	go run ./examples/obfuscation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+)
+
+func main() {
+	designs, err := repro.GenerateSuite(repro.SuiteConfig{Scale: 0.4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const splitLayer = 6
+	clean, err := repro.SplitAll(designs, splitLayer)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sds := []float64{0, 0.005, 0.01, 0.02}
+	rng := rand.New(rand.NewSource(7))
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 2, 2, ' ', 0)
+	fmt.Fprintf(tw, "noise SD\tavg acc@|LoC|=10\tavg acc@|LoC|=50\tavg PA success\n")
+	for _, sd := range sds {
+		chs := clean
+		if sd > 0 {
+			chs = make([]*repro.Challenge, len(clean))
+			for i, ch := range clean {
+				chs[i] = ch.WithNoise(sd, rng)
+			}
+		}
+		res, err := repro.RunAttack(repro.Imp11(), chs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var a10, a50 float64
+		for _, ev := range res.Evals {
+			a10 += ev.AccuracyAtK(10)
+			a50 += ev.AccuracyAtK(50)
+		}
+		pa, err := repro.RunProximityAttack(repro.Imp11(), chs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var paAvg float64
+		for _, o := range pa {
+			paAvg += o.Success
+		}
+		n := float64(len(res.Evals))
+		fmt.Fprintf(tw, "%.1f%%\t%.1f%%\t%.1f%%\t%.1f%%\n",
+			sd*100, a10/n*100, a50/n*100, paAvg/n*100)
+	}
+	tw.Flush()
+
+	fmt.Println("\nReading the table: the attack degrades steeply once the injected")
+	fmt.Println("noise reaches ~1% of the die height; doubling it further changes")
+	fmt.Println("little — matching the paper's conclusion that SD ~= 1% suffices.")
+}

@@ -1,0 +1,70 @@
+// Proximity-attack comparison: the naive nearest-neighbour attack of
+// prior work [9], the linear-regression region attack of [5], the
+// fixed-threshold ML proximity attack of [18], and this paper's
+// validation-based proximity attack, side by side at the top via layer.
+//
+// Run with:
+//
+//	go run ./examples/proximity
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"repro"
+	"repro/internal/priorwork"
+)
+
+func main() {
+	designs, err := repro.GenerateSuite(repro.SuiteConfig{Scale: 0.4, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const splitLayer = 8
+	chs, err := repro.SplitAll(designs, splitLayer)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baselines.
+	rng := rand.New(rand.NewSource(3))
+	nn := make([]float64, len(chs))
+	for i, ch := range chs {
+		nn[i] = priorwork.NearestNeighborPA(ch, rng)
+	}
+	regression, err := priorwork.RunLeaveOneOut(chs, 1.0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// This paper: ML candidates + validated per-design PA-LoC fraction.
+	// The Y variant exploits the single routing direction above layer 8.
+	outcomes, err := repro.RunProximityAttack(repro.WithY(repro.Imp9()), chs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 2, 2, ' ', 0)
+	fmt.Fprintln(tw, "design\t[9] nearest\t[5] region\tML fixed-thr [18]\tML validated (this paper)\tPA-LoC frac")
+	var s1, s2, s3, s4 float64
+	for i, o := range outcomes {
+		fmt.Fprintf(tw, "%s\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\t%.4f\n",
+			o.Design, nn[i]*100, regression[i].PASuccess*100,
+			o.FixedSuccess*100, o.Success*100, o.BestFrac)
+		s1 += nn[i]
+		s2 += regression[i].PASuccess
+		s3 += o.FixedSuccess
+		s4 += o.Success
+	}
+	n := float64(len(outcomes))
+	fmt.Fprintf(tw, "Avg\t%.2f%%\t%.2f%%\t%.2f%%\t%.2f%%\t\n", s1/n*100, s2/n*100, s3/n*100, s4/n*100)
+	tw.Flush()
+
+	fmt.Println("\nA proximity attack must name the single correct partner for every")
+	fmt.Println("broken net. Machine-learning candidate filtering lifts the success")
+	fmt.Println("rate far above the geometric baselines.")
+}

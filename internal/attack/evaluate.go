@@ -1,0 +1,215 @@
+package attack
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/features"
+)
+
+// Candidate is one scored entry of a v-pin's candidate list.
+type Candidate struct {
+	// Other is the candidate partner v-pin.
+	Other int32
+	// P is the ensemble probability p(v, v') of eq. (3).
+	P float32
+	// D is the ManhattanVpin distance, used by the proximity attack.
+	D float32
+}
+
+// Evaluation holds the scored candidate lists of one (config, design,
+// split-layer) attack run. All LoC/accuracy metrics and the proximity
+// attack are computed from it without re-running inference, which is how
+// the paper varies the threshold "without re-running the entire
+// classification process" (§III-F).
+type Evaluation struct {
+	ConfigName string
+	Design     string
+	SplitLayer int
+	// N is the number of v-pins in the target design.
+	N int
+	// Cands[a] lists the retained candidates of v-pin a, sorted by
+	// descending P. Lists are truncated to MaxLoCFrac*N entries; metrics
+	// are exact for LoC fractions up to that bound.
+	Cands [][]Candidate
+	// TruthP[a] is the scored probability of a's true match, or -1 when
+	// the pair was never scored (filtered out by neighborhood or Y rules
+	// — the saturation effect of Fig. 9).
+	TruthP []float32
+	// Truth[a] is the ground-truth partner of a.
+	Truth []int32
+	// Subset, when non-nil, lists the only v-pins that were scored;
+	// metrics over the whole design are then undefined and only
+	// subset-aware consumers (the PA validation) should use the result.
+	Subset []int
+	// TrainDur and TestDur are the wall-clock durations of model training
+	// and candidate scoring.
+	TrainDur, TestDur time.Duration
+}
+
+// candHeap is a bounded min-heap on P, keeping the top-cap candidates.
+type candHeap struct {
+	c   []Candidate
+	cap int
+}
+
+func (h *candHeap) push(cand Candidate) {
+	if len(h.c) < h.cap {
+		h.c = append(h.c, cand)
+		h.up(len(h.c) - 1)
+		return
+	}
+	if cand.P <= h.c[0].P {
+		return
+	}
+	h.c[0] = cand
+	h.down(0)
+}
+
+func (h *candHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.c[p].P <= h.c[i].P {
+			break
+		}
+		h.c[p], h.c[i] = h.c[i], h.c[p]
+		i = p
+	}
+}
+
+func (h *candHeap) down(i int) {
+	n := len(h.c)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.c[l].P < h.c[small].P {
+			small = l
+		}
+		if r < n && h.c[r].P < h.c[small].P {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.c[i], h.c[small] = h.c[small], h.c[i]
+		i = small
+	}
+}
+
+// scoreTarget evaluates all admitted candidate pairs of the target instance
+// with the model and assembles the Evaluation. Work is parallelised across
+// v-pins.
+func scoreTarget(model Scorer, inst *Instance, cfg Config, radiusNorm float64) *Evaluation {
+	return scoreSubset(model, inst, cfg, radiusNorm, nil)
+}
+
+// scoreSubset is scoreTarget restricted to the listed target v-pins
+// (candidates are still drawn from the whole design). A nil subset scores
+// every v-pin. The proximity attack's validation stage uses this to score
+// only held-out v-pins.
+func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, subset []int) *Evaluation {
+	start := time.Now()
+	n := inst.N()
+	filter := newPairFilter(inst, cfg, radiusNorm)
+	capPer := int(cfg.MaxLoCFrac * float64(n))
+	if capPer < 32 {
+		capPer = 32
+	}
+	if capPer > n {
+		capPer = n
+	}
+
+	targets := subset
+	if targets == nil {
+		targets = make([]int, n)
+		for i := range targets {
+			targets[i] = i
+		}
+	}
+
+	ev := &Evaluation{
+		ConfigName: cfg.Name,
+		Design:     inst.Ch.Design.Name,
+		SplitLayer: inst.Ch.SplitLayer,
+		N:          n,
+		Subset:     subset,
+		Cands:      make([][]Candidate, n),
+		TruthP:     make([]float32, n),
+		Truth:      make([]int32, n),
+	}
+	for a := 0; a < n; a++ {
+		ev.TruthP[a] = -1
+		ev.Truth[a] = inst.match[a]
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64
+	var mu sync.Mutex
+	take := func(batch int) (int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		lo := int(next)
+		if lo >= len(targets) {
+			return 0, 0
+		}
+		hi := lo + batch
+		if hi > len(targets) {
+			hi = len(targets)
+		}
+		next = int64(hi)
+		return lo, hi
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			row := make([]float64, features.NumFeatures)
+			for {
+				lo, hi := take(16)
+				if lo == hi {
+					return
+				}
+				for _, a := range targets[lo:hi] {
+					h := candHeap{cap: capPer}
+					m := int(inst.match[a])
+					inst.ix.candidates(a, filter.radius, filter.yLimit, func(b32 int32) {
+						b := int(b32)
+						if !inst.Ex.Legal(a, b) {
+							return
+						}
+						inst.Ex.Pair(a, b, row)
+						p := float32(model.Prob(row))
+						if b == m {
+							ev.TruthP[a] = p
+						}
+						h.push(Candidate{
+							Other: b32,
+							P:     p,
+							D:     float32(inst.Ex.VpinDist(a, b)),
+						})
+					})
+					sort.Slice(h.c, func(i, j int) bool {
+						if h.c[i].P != h.c[j].P {
+							return h.c[i].P > h.c[j].P
+						}
+						return h.c[i].Other < h.c[j].Other
+					})
+					ev.Cands[a] = h.c
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ev.TestDur = time.Since(start)
+	return ev
+}

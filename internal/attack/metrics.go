@@ -1,0 +1,212 @@
+package attack
+
+import (
+	"sort"
+)
+
+// MeanLoC returns the average List-of-Candidates size at threshold t: the
+// mean over v-pins of the number of candidates with p >= t.
+func (ev *Evaluation) MeanLoC(t float64) float64 {
+	tf := float32(t)
+	total := 0
+	for _, cands := range ev.Cands {
+		// cands is sorted by descending P; count the prefix with P >= t.
+		total += sort.Search(len(cands), func(i int) bool { return cands[i].P < tf })
+	}
+	return float64(total) / float64(ev.N)
+}
+
+// LoCFrac returns MeanLoC(t) normalised by the v-pin count, the x-axis of
+// the paper's Fig. 9.
+func (ev *Evaluation) LoCFrac(t float64) float64 {
+	return ev.MeanLoC(t) / float64(ev.N)
+}
+
+// Accuracy returns the fraction of v-pins whose true match scores p >= t —
+// i.e. whose LoC at threshold t contains the actual match.
+func (ev *Evaluation) Accuracy(t float64) float64 {
+	tf := float32(t)
+	hit := 0
+	for _, p := range ev.TruthP {
+		if p >= tf && p >= 0 {
+			hit++
+		}
+	}
+	return float64(hit) / float64(ev.N)
+}
+
+// MaxAccuracy is the accuracy as the threshold approaches zero: the
+// fraction of v-pins whose true match was scored at all. Under the Imp
+// neighborhood (or Y limits) this saturates below 1 — the plateau the
+// paper discusses for Fig. 9(b,c).
+func (ev *Evaluation) MaxAccuracy() float64 {
+	return ev.Accuracy(0)
+}
+
+// ThresholdForLoCFrac returns a threshold at which the mean LoC fraction is
+// approximately frac. MeanLoC is monotone non-increasing in the threshold,
+// so a bisection suffices. Fractions beyond the retained candidate bound
+// return 0.
+func (ev *Evaluation) ThresholdForLoCFrac(frac float64) float64 {
+	lo, hi := 0.0, 1.0000001
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if ev.LoCFrac(mid) > frac {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// truthRank returns, for v-pin a, how many stored candidates outscore the
+// true match strictly (gt) and how many tie with it including the match
+// itself (eq). ok is false when the match was never scored.
+func (ev *Evaluation) truthRank(a int) (gt, eq int, ok bool) {
+	pt := ev.TruthP[a]
+	if pt < 0 {
+		return 0, 0, false
+	}
+	cands := ev.Cands[a]
+	// Sorted by descending P: find the strict and weak boundaries.
+	gt = sort.Search(len(cands), func(i int) bool { return cands[i].P <= pt })
+	weak := sort.Search(len(cands), func(i int) bool { return cands[i].P < pt })
+	eq = weak - gt
+	if eq < 1 {
+		// The truth was pushed out of the bounded list by equal-scoring
+		// candidates; it still occupies one tie slot.
+		eq = 1
+	}
+	return gt, eq, true
+}
+
+// AccuracyAtK returns the expected accuracy when each v-pin's LoC is its
+// top-k candidates by probability with ties broken uniformly at random —
+// the per-v-pin LoC-size control the paper introduces for the proximity
+// attack (§III-H), applied as a metric. The expectation smooths the
+// discrete tie buckets that a hard global threshold cannot split.
+func (ev *Evaluation) AccuracyAtK(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	var sum float64
+	for a := 0; a < ev.N; a++ {
+		gt, eq, ok := ev.truthRank(a)
+		if !ok || gt >= k {
+			continue
+		}
+		slots := k - gt
+		if slots >= eq {
+			sum++
+		} else {
+			sum += float64(slots) / float64(eq)
+		}
+	}
+	return sum / float64(ev.N)
+}
+
+// AccuracyAtLoCFrac returns the expected accuracy with mean LoC size
+// frac*N (see AccuracyAtK).
+func (ev *Evaluation) AccuracyAtLoCFrac(frac float64) float64 {
+	return ev.AccuracyAtK(int(frac*float64(ev.N) + 0.5))
+}
+
+// AccuracyAtLoC returns the expected accuracy with the given mean LoC size.
+func (ev *Evaluation) AccuracyAtLoC(loc float64) float64 {
+	return ev.AccuracyAtK(int(loc + 0.5))
+}
+
+// LoCForAccuracy returns the smallest LoC size k whose expected accuracy
+// reaches acc, or -1 when the accuracy is unreachable at any size up to
+// the retained candidate bound (the dashes in the paper's Table IV, caused
+// by neighborhood saturation).
+func (ev *Evaluation) LoCForAccuracy(acc float64) float64 {
+	maxK := 0
+	for _, c := range ev.Cands {
+		if len(c) > maxK {
+			maxK = len(c)
+		}
+	}
+	if ev.AccuracyAtK(maxK) < acc {
+		return -1
+	}
+	k := sort.Search(maxK, func(k int) bool { return ev.AccuracyAtK(k+1) >= acc }) + 1
+	return float64(k)
+}
+
+// LoCFracForAccuracy is LoCForAccuracy normalised by the v-pin count; -1
+// when unreachable.
+func (ev *Evaluation) LoCFracForAccuracy(acc float64) float64 {
+	loc := ev.LoCForAccuracy(acc)
+	if loc < 0 {
+		return -1
+	}
+	return loc / float64(ev.N)
+}
+
+// TradeoffPoint is one point of the LoC-fraction/accuracy trade-off curve.
+type TradeoffPoint struct {
+	LoCFrac  float64
+	Accuracy float64
+}
+
+// CurveFractions is the log-spaced LoC-fraction grid used for the
+// trade-off curves of Fig. 9 and Fig. 10.
+func CurveFractions() []float64 {
+	var fr []float64
+	for _, decade := range []float64{1e-4, 1e-3, 1e-2, 1e-1} {
+		for _, m := range []float64{1, 1.5, 2, 3, 5, 7} {
+			f := decade * m
+			if f <= 0.15 {
+				fr = append(fr, f)
+			}
+		}
+	}
+	return fr
+}
+
+// AggregateAccuracyAtLoCFrac tunes each design's threshold to the given LoC
+// fraction and averages the resulting accuracies — the paper's way of
+// comparing designs with very different v-pin counts.
+func AggregateAccuracyAtLoCFrac(evals []*Evaluation, frac float64) float64 {
+	if len(evals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, ev := range evals {
+		sum += ev.AccuracyAtLoCFrac(frac)
+	}
+	return sum / float64(len(evals))
+}
+
+// AggregateLoCFracForAccuracy returns the smallest LoC fraction at which
+// the average accuracy across designs reaches acc, or -1 when unreachable
+// at any fraction up to the retained bound.
+func AggregateLoCFracForAccuracy(evals []*Evaluation, acc float64, maxFrac float64) float64 {
+	if maxFrac <= 0 {
+		maxFrac = 0.14
+	}
+	if AggregateAccuracyAtLoCFrac(evals, maxFrac) < acc {
+		return -1
+	}
+	lo, hi := 0.0, maxFrac
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if AggregateAccuracyAtLoCFrac(evals, mid) >= acc {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// Curve evaluates the aggregate trade-off curve on the given fraction grid.
+func Curve(evals []*Evaluation, fractions []float64) []TradeoffPoint {
+	pts := make([]TradeoffPoint, len(fractions))
+	for i, f := range fractions {
+		pts[i] = TradeoffPoint{LoCFrac: f, Accuracy: AggregateAccuracyAtLoCFrac(evals, f)}
+	}
+	return pts
+}

@@ -1,0 +1,238 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/split"
+)
+
+// DefaultPAFractions is the PA-LoC fraction grid searched during the
+// proximity attack's validation stage.
+func DefaultPAFractions() []float64 {
+	return []float64{0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1}
+}
+
+// ProximitySuccess runs the proximity attack of §III-H on every scored
+// v-pin: the PA-LoC of a v-pin is its top frac*N candidates by probability,
+// and the attack picks the candidate with the smallest ManhattanVpin
+// distance (ties broken by higher probability, then randomly). It returns
+// the fraction of v-pins whose picked candidate is the true match.
+func (ev *Evaluation) ProximitySuccess(frac float64, rng *rand.Rand) float64 {
+	targets := ev.Subset
+	if targets == nil {
+		targets = make([]int, ev.N)
+		for i := range targets {
+			targets[i] = i
+		}
+	}
+	if len(targets) == 0 {
+		return 0
+	}
+	k := int(frac*float64(ev.N) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	success := 0
+	for _, a := range targets {
+		if pick, ok := ev.proximityPick(a, k, rng); ok && pick == ev.Truth[a] {
+			success++
+		}
+	}
+	return float64(success) / float64(len(targets))
+}
+
+// proximityPick selects the PA answer for v-pin a from its top-k
+// candidates.
+func (ev *Evaluation) proximityPick(a, k int, rng *rand.Rand) (int32, bool) {
+	cands := ev.Cands[a]
+	if k > len(cands) {
+		k = len(cands)
+	}
+	best := -1
+	ties := 0
+	for i := 0; i < k; i++ {
+		c := cands[i]
+		if c.P < 0 {
+			break // unscored tail (two-level exclusions); list is sorted by P
+		}
+		switch {
+		case best < 0 || c.D < cands[best].D:
+			best = i
+			ties = 1
+		case c.D == cands[best].D:
+			// Same distance: the list is sorted by descending P, so the
+			// incumbent has the higher probability; on an exact P tie,
+			// reservoir-sample among the tied candidates.
+			if c.P == cands[best].P {
+				ties++
+				if rng.Intn(ties) == 0 {
+					best = i
+				}
+			}
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return cands[best].Other, true
+}
+
+// PAAnswers returns the proximity-attack pick of every v-pin at the given
+// PA-LoC fraction, or -1 where no candidate exists. Downstream consumers
+// (e.g. functional netlist-recovery evaluation) turn this into a pairing.
+func (ev *Evaluation) PAAnswers(frac float64, rng *rand.Rand) []int32 {
+	k := int(frac*float64(ev.N) + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	out := make([]int32, ev.N)
+	for a := 0; a < ev.N; a++ {
+		if pick, ok := ev.proximityPick(a, k, rng); ok {
+			out[a] = pick
+		} else {
+			out[a] = -1
+		}
+	}
+	return out
+}
+
+// PAOutcome reports the proximity attack against one design.
+type PAOutcome struct {
+	Design string
+	// Success is the PA success rate with the validated PA-LoC fraction.
+	Success float64
+	// FixedSuccess is the PA success rate with the fixed threshold-0.5 LoC
+	// (the pre-validation procedure of [18]), for comparison.
+	FixedSuccess float64
+	// BestFrac is the PA-LoC fraction selected by validation.
+	BestFrac float64
+	// ValidationDur is the extra wall-clock cost of the validation stage.
+	ValidationDur time.Duration
+}
+
+// RunProximity executes the validation-based proximity attack for every
+// design under leave-one-out cross-validation: for each target, the PA-LoC
+// fraction is chosen by an 80/20 v-pin split of the training designs
+// (§III-H) and then applied to the target's scored candidates.
+func RunProximity(cfg Config, chs []*split.Challenge) ([]PAOutcome, error) {
+	return RunProximityOn(cfg, chs, nil)
+}
+
+// RunProximityOn is RunProximity reusing an existing attack run's scored
+// candidates (prior must come from Run with the same configuration and
+// challenges); with a nil prior the evaluations are computed here. Only the
+// validation stage is executed either way.
+func RunProximityOn(cfg Config, chs []*split.Challenge, prior *Result) ([]PAOutcome, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(chs) < 2 {
+		return nil, fmt.Errorf("attack: proximity attack needs at least 2 designs")
+	}
+	if prior != nil && len(prior.Evals) != len(chs) {
+		return nil, fmt.Errorf("attack: prior result covers %d designs, want %d", len(prior.Evals), len(chs))
+	}
+	insts := NewInstances(chs)
+	outcomes := make([]PAOutcome, len(insts))
+	for target := range insts {
+		rng := rand.New(rand.NewSource(cfg.Seed + 31 + int64(target)*104729))
+		var ev *Evaluation
+		var radiusNorm float64
+		if prior != nil {
+			ev = prior.Evals[target]
+			radiusNorm = prior.RadiusNorm[target]
+		} else {
+			var err error
+			ev, radiusNorm, err = runTarget(cfg, insts, target, rng)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		v0 := time.Now()
+		bestFrac := validatePAFraction(cfg, others(insts, target), radiusNorm, rng)
+		valDur := time.Since(v0)
+
+		outcomes[target] = PAOutcome{
+			Design:        insts[target].Ch.Design.Name,
+			Success:       ev.ProximitySuccess(bestFrac, rng),
+			FixedSuccess:  ev.fixedThresholdPA(rng),
+			BestFrac:      bestFrac,
+			ValidationDur: valDur,
+		}
+	}
+	return outcomes, nil
+}
+
+// fixedThresholdPA is the pre-validation PA of [18]: the PA-LoC is simply
+// the threshold-0.5 LoC.
+func (ev *Evaluation) fixedThresholdPA(rng *rand.Rand) float64 {
+	targets := make([]int, ev.N)
+	for i := range targets {
+		targets[i] = i
+	}
+	success := 0
+	for _, a := range targets {
+		// Count the p >= 0.5 prefix and pick within it.
+		k := 0
+		for k < len(ev.Cands[a]) && ev.Cands[a][k].P >= 0.5 {
+			k++
+		}
+		if k == 0 {
+			continue
+		}
+		if pick, ok := ev.proximityPickFixed(a, k, rng); ok && pick == ev.Truth[a] {
+			success++
+		}
+	}
+	return float64(success) / float64(ev.N)
+}
+
+func (ev *Evaluation) proximityPickFixed(a, k int, rng *rand.Rand) (int32, bool) {
+	return ev.proximityPick(a, k, rng)
+}
+
+// validatePAFraction selects the PA-LoC fraction: 80% of each training
+// design's v-pins form a validation training set; the held-out 20% are
+// attacked with every candidate fraction; the fraction with the best mean
+// success rate wins.
+func validatePAFraction(cfg Config, trainInsts []*Instance, radiusNorm float64, rng *rand.Rand) float64 {
+	fracs := DefaultPAFractions()
+	selected := make([][]int, len(trainInsts))
+	heldout := make([][]int, len(trainInsts))
+	for i, inst := range trainInsts {
+		perm := rng.Perm(inst.N())
+		cut := inst.N() * 8 / 10
+		selected[i] = append([]int(nil), perm[:cut]...)
+		heldout[i] = append([]int(nil), perm[cut:]...)
+	}
+
+	ds := TrainingSet(cfg, trainInsts, radiusNorm, selected, rng)
+	model, err := trainModel(cfg, ds, rng)
+	if err != nil {
+		// Degenerate validation data (e.g. tiny tests): fall back to a
+		// mid-grid fraction rather than failing the whole attack.
+		return fracs[len(fracs)/2]
+	}
+
+	evals := make([]*Evaluation, len(trainInsts))
+	for i, inst := range trainInsts {
+		evals[i] = scoreSubset(model, inst, cfg, radiusNorm, heldout[i])
+	}
+
+	bestFrac, bestRate := fracs[0], -1.0
+	for _, f := range fracs {
+		var sum float64
+		for _, e := range evals {
+			sum += e.ProximitySuccess(f, rng)
+		}
+		rate := sum / float64(len(evals))
+		if rate > bestRate {
+			bestRate, bestFrac = rate, f
+		}
+	}
+	return bestFrac
+}

@@ -1,0 +1,220 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/split"
+)
+
+// Result is the outcome of one leave-one-out attack run: one Evaluation per
+// design, each produced by a model trained on the other designs.
+type Result struct {
+	Config Config
+	Evals  []*Evaluation
+	// RadiusNorm[i] is the neighborhood radius (fraction of die width)
+	// used when design i was the target; -1 without the Imp improvement.
+	RadiusNorm []float64
+	TotalDur   time.Duration
+}
+
+// MeanTrainDur and MeanTestDur average the per-target phase durations.
+func (r *Result) MeanTrainDur() time.Duration {
+	return r.meanDur(func(e *Evaluation) time.Duration { return e.TrainDur })
+}
+
+// MeanTestDur averages the per-target scoring durations.
+func (r *Result) MeanTestDur() time.Duration {
+	return r.meanDur(func(e *Evaluation) time.Duration { return e.TestDur })
+}
+
+func (r *Result) meanDur(f func(*Evaluation) time.Duration) time.Duration {
+	if len(r.Evals) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, e := range r.Evals {
+		sum += f(e)
+	}
+	return sum / time.Duration(len(r.Evals))
+}
+
+// NewInstances prepares challenges for attack runs.
+func NewInstances(chs []*split.Challenge) []*Instance {
+	insts := make([]*Instance, len(chs))
+	for i, ch := range chs {
+		insts[i] = NewInstance(ch)
+	}
+	return insts
+}
+
+// Run executes the full leave-one-out cross-validation attack of §III-C:
+// for every challenge, a model is trained on all other challenges and used
+// to score the held-out one. All challenges must be cuts at the same split
+// layer.
+func Run(cfg Config, chs []*split.Challenge) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(chs) < 2 {
+		return nil, fmt.Errorf("attack: leave-one-out needs at least 2 designs, got %d", len(chs))
+	}
+	for _, ch := range chs[1:] {
+		if ch.SplitLayer != chs[0].SplitLayer {
+			return nil, fmt.Errorf("attack: mixed split layers %d and %d", chs[0].SplitLayer, ch.SplitLayer)
+		}
+	}
+	start := time.Now()
+	insts := NewInstances(chs)
+	res := &Result{
+		Config:     cfg,
+		Evals:      make([]*Evaluation, len(insts)),
+		RadiusNorm: make([]float64, len(insts)),
+	}
+	for target := range insts {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(target)*7919))
+		ev, radius, err := runTarget(cfg, insts, target, rng)
+		if err != nil {
+			return nil, err
+		}
+		res.Evals[target] = ev
+		res.RadiusNorm[target] = radius
+	}
+	res.TotalDur = time.Since(start)
+	return res, nil
+}
+
+// others returns insts without the element at target.
+func others(insts []*Instance, target int) []*Instance {
+	out := make([]*Instance, 0, len(insts)-1)
+	for i, inst := range insts {
+		if i != target {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// trainModel trains the configuration's classifier: the Bagging ensemble by
+// default, or a custom Learner when one is set.
+func trainModel(cfg Config, ds *ml.Dataset, rng *rand.Rand) (Scorer, error) {
+	if cfg.Learner != nil {
+		return cfg.Learner(ds, cfg, rng)
+	}
+	return ml.TrainBagging(ds, cfg.NumTrees, baseTreeOptions(cfg), rng)
+}
+
+func baseTreeOptions(cfg Config) ml.TreeOptions {
+	opts := ml.TreeOptions{Kind: cfg.BaseKind, Features: cfg.Features}
+	if cfg.BaseKind == ml.RandomTree {
+		opts.MinLeaf = 1 // Weka RandomTree default
+	}
+	return opts
+}
+
+// runTarget trains on all instances except target and scores target.
+func runTarget(cfg Config, insts []*Instance, target int, rng *rand.Rand) (*Evaluation, float64, error) {
+	trainInsts := others(insts, target)
+	radiusNorm := -1.0
+	if cfg.Neighborhood {
+		radiusNorm = NeighborRadiusNorm(trainInsts, cfg.NeighborQuantile)
+	}
+
+	t0 := time.Now()
+	ds := TrainingSet(cfg, trainInsts, radiusNorm, nil, rng)
+	model, err := trainModel(cfg, ds, rng)
+	if err != nil {
+		return nil, 0, fmt.Errorf("attack: %s: %w", cfg.Name, err)
+	}
+	var sc Scorer = model
+	if cfg.TwoLevel {
+		level2, err := trainLevel2(cfg, trainInsts, model, radiusNorm, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		sc = &twoLevelScorer{l1: model, l2: level2}
+	}
+	trainDur := time.Since(t0)
+
+	ev := scoreTarget(sc, insts[target], cfg, radiusNorm)
+	ev.TrainDur = trainDur
+	return ev, radiusNorm, nil
+}
+
+// ScoreWithTrainingSet trains a model on a caller-provided training set and
+// scores the target instance with it. It exposes the engine's internals for
+// ablation studies (custom sampling schemes); normal attacks should use Run.
+func ScoreWithTrainingSet(cfg Config, ds *ml.Dataset, target *Instance, radiusNorm float64, rng *rand.Rand) (*Evaluation, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	model, err := trainModel(cfg, ds, rng)
+	if err != nil {
+		return nil, err
+	}
+	return scoreTarget(model, target, cfg, radiusNorm), nil
+}
+
+// trainLevel2 implements two-level pruning (§III-E): the level-1 model is
+// applied to the training designs themselves; every v-pin's level-1 LoC
+// (threshold 0.5) supplies one "high-quality" negative — a candidate the
+// level-1 model could not reject — and the level-2 model is trained on
+// these negatives plus all positives.
+func trainLevel2(cfg Config, trainInsts []*Instance, l1 Scorer, radiusNorm float64, rng *rand.Rand) (Scorer, error) {
+	ds := &ml.Dataset{}
+	for _, inst := range trainInsts {
+		filter := newPairFilter(inst, cfg, radiusNorm)
+		ev := scoreTarget(l1, inst, cfg, radiusNorm)
+		for a := 0; a < inst.N(); a++ {
+			m := inst.Match(a)
+			if filter.admits(a, m) {
+				row := make([]float64, features.NumFeatures)
+				inst.Ex.Pair(a, m, row)
+				ds.Add(row, true)
+			}
+			// Collect the level-1 LoC of a (p >= 0.5, excluding the truth)
+			// and sample one high-quality negative from it.
+			cands := ev.Cands[a]
+			loc := cands[:0:0]
+			for _, c := range cands {
+				if c.P < 0.5 {
+					break // sorted descending
+				}
+				if int(c.Other) != m {
+					loc = append(loc, c)
+				}
+			}
+			if len(loc) == 0 {
+				continue
+			}
+			pick := loc[rng.Intn(len(loc))]
+			row := make([]float64, features.NumFeatures)
+			inst.Ex.Pair(a, int(pick.Other), row)
+			ds.Add(row, false)
+		}
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("attack: two-level pruning produced no training samples")
+	}
+	return trainModel(cfg, ds, rng)
+}
+
+// twoLevelScorer composes the two pruning levels: pairs the level-1 model
+// rejects (p1 < 0.5) are excluded outright (scored -1, below every
+// threshold); surviving pairs are scored by the level-2 model.
+type twoLevelScorer struct {
+	l1, l2 Scorer
+}
+
+// Prob implements Scorer with the two-level composition.
+func (s *twoLevelScorer) Prob(x []float64) float64 {
+	if s.l1.Prob(x) < 0.5 {
+		return -1
+	}
+	return s.l2.Prob(x)
+}

@@ -1,0 +1,151 @@
+// Package cell models the standard-cell library of the synthetic technology:
+// cell kinds with footprint, drive strength, and typed pins. The attack's
+// InArea/OutArea features are computed from these cell areas, and pin
+// directions determine which v-pin pairs are electrically legal.
+package cell
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// PinDir is the electrical direction of a cell pin.
+type PinDir int
+
+const (
+	// Input pins sink current; a net drives them.
+	Input PinDir = iota
+	// Output pins source current; they drive a net.
+	Output
+)
+
+// String implements fmt.Stringer.
+func (d PinDir) String() string {
+	switch d {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	default:
+		return fmt.Sprintf("PinDir(%d)", int(d))
+	}
+}
+
+// PinDef describes one pin of a cell kind. Offset is the pin location
+// relative to the cell origin (lower-left corner); physical pins live on
+// metal 1.
+type PinDef struct {
+	Name   string
+	Dir    PinDir
+	Offset geom.Point
+}
+
+// Kind is a standard-cell (or macro) master: every instance of the kind
+// shares the same footprint and pins.
+type Kind struct {
+	Name   string
+	Width  geom.Coord
+	Height geom.Coord
+	// Drive is the relative drive strength (X1, X2, ...). Larger drive
+	// implies a larger footprint; the paper's area features use this
+	// correlation to reason about whether a driver can support a load.
+	Drive int
+	// Macro marks large hard blocks (RAMs etc.). Macro-heavy designs are
+	// responsible for the outliers visible in the paper's Fig. 8.
+	Macro bool
+	Pins  []PinDef
+}
+
+// Area returns the footprint area of the kind in square database units.
+func (k *Kind) Area() float64 {
+	return float64(k.Width) * float64(k.Height)
+}
+
+// Inputs returns the indices of input pins in k.Pins.
+func (k *Kind) Inputs() []int {
+	var idx []int
+	for i, p := range k.Pins {
+		if p.Dir == Input {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Outputs returns the indices of output pins in k.Pins.
+func (k *Kind) Outputs() []int {
+	var idx []int
+	for i, p := range k.Pins {
+		if p.Dir == Output {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Library is an immutable set of cell kinds.
+type Library struct {
+	kinds  []*Kind
+	byName map[string]*Kind
+}
+
+// NewLibrary builds a library from kinds. Kind names must be unique and
+// every kind must have at least one pin.
+func NewLibrary(kinds []*Kind) (*Library, error) {
+	lib := &Library{byName: make(map[string]*Kind, len(kinds))}
+	for _, k := range kinds {
+		if k.Name == "" {
+			return nil, fmt.Errorf("cell: kind with empty name")
+		}
+		if _, dup := lib.byName[k.Name]; dup {
+			return nil, fmt.Errorf("cell: duplicate kind %q", k.Name)
+		}
+		if len(k.Pins) == 0 {
+			return nil, fmt.Errorf("cell: kind %q has no pins", k.Name)
+		}
+		if k.Width <= 0 || k.Height <= 0 {
+			return nil, fmt.Errorf("cell: kind %q has non-positive footprint", k.Name)
+		}
+		for _, p := range k.Pins {
+			if p.Offset.X < 0 || p.Offset.X > k.Width || p.Offset.Y < 0 || p.Offset.Y > k.Height {
+				return nil, fmt.Errorf("cell: kind %q pin %q offset %v outside footprint", k.Name, p.Name, p.Offset)
+			}
+		}
+		lib.kinds = append(lib.kinds, k)
+		lib.byName[k.Name] = k
+	}
+	if len(lib.kinds) == 0 {
+		return nil, fmt.Errorf("cell: empty library")
+	}
+	return lib, nil
+}
+
+// Kinds returns all kinds in definition order. The returned slice must not
+// be modified.
+func (l *Library) Kinds() []*Kind { return l.kinds }
+
+// Kind returns the kind with the given name, or nil when absent.
+func (l *Library) Kind(name string) *Kind { return l.byName[name] }
+
+// StandardKinds returns the non-macro kinds.
+func (l *Library) StandardKinds() []*Kind {
+	var out []*Kind
+	for _, k := range l.kinds {
+		if !k.Macro {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Macros returns the macro kinds.
+func (l *Library) Macros() []*Kind {
+	var out []*Kind
+	for _, k := range l.kinds {
+		if k.Macro {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package cell
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestDefaultLibraryValid(t *testing.T) {
+	lib := DefaultLibrary()
+	if len(lib.Kinds()) == 0 {
+		t.Fatal("default library is empty")
+	}
+	for _, k := range lib.Kinds() {
+		if k.Area() <= 0 {
+			t.Errorf("kind %s has non-positive area", k.Name)
+		}
+		if len(k.Outputs()) == 0 {
+			t.Errorf("kind %s has no output pin", k.Name)
+		}
+		if !k.Macro && len(k.Outputs()) != 1 {
+			t.Errorf("standard kind %s has %d outputs, want 1", k.Name, len(k.Outputs()))
+		}
+	}
+}
+
+func TestDefaultLibraryDriveAreaCorrelation(t *testing.T) {
+	// The attack assumes larger drive implies larger area within a family.
+	lib := DefaultLibrary()
+	x1 := lib.Kind("INV_X1")
+	x4 := lib.Kind("INV_X4")
+	if x1 == nil || x4 == nil {
+		t.Fatal("INV family missing")
+	}
+	if x4.Area() <= x1.Area() {
+		t.Errorf("INV_X4 area %.0f not larger than INV_X1 area %.0f", x4.Area(), x1.Area())
+	}
+}
+
+func TestDefaultLibraryMacros(t *testing.T) {
+	lib := DefaultLibrary()
+	macros := lib.Macros()
+	if len(macros) < 2 {
+		t.Fatalf("want at least 2 macros, got %d", len(macros))
+	}
+	std := lib.StandardKinds()
+	var maxStd float64
+	for _, k := range std {
+		if k.Area() > maxStd {
+			maxStd = k.Area()
+		}
+	}
+	for _, m := range macros {
+		if m.Area() <= maxStd {
+			t.Errorf("macro %s area %.0f not larger than biggest standard cell %.0f", m.Name, m.Area(), maxStd)
+		}
+	}
+}
+
+func TestKindLookup(t *testing.T) {
+	lib := DefaultLibrary()
+	if lib.Kind("NAND2_X1") == nil {
+		t.Error("NAND2_X1 missing")
+	}
+	if lib.Kind("NO_SUCH_CELL") != nil {
+		t.Error("lookup of unknown kind must return nil")
+	}
+}
+
+func TestInputsOutputsPartitionPins(t *testing.T) {
+	lib := DefaultLibrary()
+	for _, k := range lib.Kinds() {
+		if len(k.Inputs())+len(k.Outputs()) != len(k.Pins) {
+			t.Errorf("kind %s: inputs+outputs != pins", k.Name)
+		}
+		for _, i := range k.Inputs() {
+			if k.Pins[i].Dir != Input {
+				t.Errorf("kind %s: Inputs() returned non-input pin", k.Name)
+			}
+		}
+		for _, i := range k.Outputs() {
+			if k.Pins[i].Dir != Output {
+				t.Errorf("kind %s: Outputs() returned non-output pin", k.Name)
+			}
+		}
+	}
+}
+
+func TestPinOffsetsInsideFootprint(t *testing.T) {
+	lib := DefaultLibrary()
+	for _, k := range lib.Kinds() {
+		for _, p := range k.Pins {
+			if p.Offset.X < 0 || p.Offset.X > k.Width || p.Offset.Y < 0 || p.Offset.Y > k.Height {
+				t.Errorf("kind %s pin %s offset %v outside footprint %dx%d",
+					k.Name, p.Name, p.Offset, k.Width, k.Height)
+			}
+		}
+	}
+}
+
+func TestNewLibraryRejectsDuplicates(t *testing.T) {
+	k := func(name string) *Kind {
+		return &Kind{Name: name, Width: 10, Height: 10,
+			Pins: []PinDef{{Name: "Z", Dir: Output}}}
+	}
+	_, err := NewLibrary([]*Kind{k("A"), k("A")})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("want duplicate error, got %v", err)
+	}
+}
+
+func TestNewLibraryRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		kind *Kind
+	}{
+		{"empty name", &Kind{Width: 10, Height: 10, Pins: []PinDef{{Name: "Z", Dir: Output}}}},
+		{"no pins", &Kind{Name: "X", Width: 10, Height: 10}},
+		{"zero width", &Kind{Name: "X", Height: 10, Pins: []PinDef{{Name: "Z", Dir: Output}}}},
+		{"pin outside", &Kind{Name: "X", Width: 10, Height: 10,
+			Pins: []PinDef{{Name: "Z", Dir: Output, Offset: geom.Pt(11, 0)}}}},
+	}
+	for _, c := range cases {
+		if _, err := NewLibrary([]*Kind{c.kind}); err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+		}
+	}
+	if _, err := NewLibrary(nil); err == nil {
+		t.Error("empty library: want error, got nil")
+	}
+}
+
+func TestPinDirString(t *testing.T) {
+	if Input.String() != "input" || Output.String() != "output" {
+		t.Error("PinDir.String mismatch")
+	}
+	if s := PinDir(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("unknown PinDir string %q", s)
+	}
+}
+
+func TestDefaultLibraryDeterministic(t *testing.T) {
+	a, b := DefaultLibrary(), DefaultLibrary()
+	if len(a.Kinds()) != len(b.Kinds()) {
+		t.Fatal("library size differs between constructions")
+	}
+	for i, k := range a.Kinds() {
+		if k.Name != b.Kinds()[i].Name || k.Width != b.Kinds()[i].Width {
+			t.Fatalf("kind %d differs between constructions", i)
+		}
+	}
+}

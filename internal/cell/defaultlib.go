@@ -1,0 +1,132 @@
+package cell
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Technology constants of the synthetic 45nm-flavoured library. The site
+// width and row height match typical academic libraries; absolute values
+// only matter relative to the die sizes chosen in internal/layout.
+const (
+	// SiteWidth is the placement site pitch in database units.
+	SiteWidth geom.Coord = 38
+	// RowHeight is the standard-cell row height in database units.
+	RowHeight geom.Coord = 240
+)
+
+// DefaultLibrary constructs the synthetic standard-cell library used by the
+// benchmark generator. It contains the usual combinational gates in several
+// drive strengths, sequential cells, buffers for long nets, and two macro
+// footprints. Cell widths grow with drive strength and input count, giving
+// the area/drive correlation the attack's InArea/OutArea features rely on.
+func DefaultLibrary() *Library {
+	var kinds []*Kind
+
+	// comb describes a combinational gate family: one output, n inputs,
+	// issued in drive strengths X1..X4 with widths growing with drive.
+	type family struct {
+		name   string
+		inputs int
+		base   geom.Coord // width of the X1 variant, in sites
+	}
+	families := []family{
+		{"INV", 1, 2},
+		{"BUF", 1, 3},
+		{"NAND2", 2, 3},
+		{"NOR2", 2, 3},
+		{"AND2", 2, 4},
+		{"OR2", 2, 4},
+		{"XOR2", 2, 5},
+		{"NAND3", 3, 4},
+		{"NOR3", 3, 4},
+		{"AOI21", 3, 4},
+		{"OAI21", 3, 4},
+		{"MUX2", 3, 6},
+		{"NAND4", 4, 5},
+		{"AOI22", 4, 5},
+	}
+	for _, f := range families {
+		for _, drive := range []int{1, 2, 4} {
+			w := f.base * SiteWidth * geom.Coord(1+drive/2)
+			k := &Kind{
+				Name:   fmt.Sprintf("%s_X%d", f.name, drive),
+				Width:  w,
+				Height: RowHeight,
+				Drive:  drive,
+			}
+			for i := 0; i < f.inputs; i++ {
+				k.Pins = append(k.Pins, PinDef{
+					Name:   fmt.Sprintf("A%d", i+1),
+					Dir:    Input,
+					Offset: geom.Pt(w*geom.Coord(i+1)/geom.Coord(f.inputs+2), RowHeight/3),
+				})
+			}
+			k.Pins = append(k.Pins, PinDef{
+				Name:   "ZN",
+				Dir:    Output,
+				Offset: geom.Pt(w*geom.Coord(f.inputs+1)/geom.Coord(f.inputs+2), 2*RowHeight/3),
+			})
+			kinds = append(kinds, k)
+		}
+	}
+
+	// Sequential cells: D flip-flops in two drive strengths. The clock pin
+	// is modelled as a regular input; clock routing is excluded from the
+	// signal netlist by the generator, matching how split-manufacturing
+	// studies treat clock trees separately.
+	for _, drive := range []int{1, 2} {
+		w := 8 * SiteWidth * geom.Coord(1+drive/2)
+		kinds = append(kinds, &Kind{
+			Name:   fmt.Sprintf("DFF_X%d", drive),
+			Width:  w,
+			Height: RowHeight,
+			Drive:  drive,
+			Pins: []PinDef{
+				{Name: "D", Dir: Input, Offset: geom.Pt(w/4, RowHeight/3)},
+				{Name: "CK", Dir: Input, Offset: geom.Pt(w/2, RowHeight/4)},
+				{Name: "Q", Dir: Output, Offset: geom.Pt(3*w/4, 2*RowHeight/3)},
+			},
+		})
+	}
+
+	// Macros: block RAM and a PLL-like analog block. Their huge areas are
+	// the outliers in the cell-area feature distributions.
+	kinds = append(kinds,
+		&Kind{
+			Name:   "RAM512",
+			Width:  120 * SiteWidth,
+			Height: 16 * RowHeight,
+			Drive:  8,
+			Macro:  true,
+			Pins: []PinDef{
+				{Name: "A", Dir: Input, Offset: geom.Pt(10*SiteWidth, RowHeight)},
+				{Name: "DI", Dir: Input, Offset: geom.Pt(30*SiteWidth, RowHeight)},
+				{Name: "WE", Dir: Input, Offset: geom.Pt(50*SiteWidth, RowHeight)},
+				{Name: "DO", Dir: Output, Offset: geom.Pt(90*SiteWidth, 15*RowHeight)},
+			},
+		},
+		&Kind{
+			Name:   "MACRO_IP",
+			Width:  80 * SiteWidth,
+			Height: 10 * RowHeight,
+			Drive:  6,
+			Macro:  true,
+			Pins: []PinDef{
+				{Name: "IN1", Dir: Input, Offset: geom.Pt(8*SiteWidth, RowHeight)},
+				{Name: "IN2", Dir: Input, Offset: geom.Pt(24*SiteWidth, RowHeight)},
+				{Name: "OUT1", Dir: Output, Offset: geom.Pt(60*SiteWidth, 9*RowHeight)},
+				{Name: "OUT2", Dir: Output, Offset: geom.Pt(72*SiteWidth, 9*RowHeight)},
+			},
+		},
+	)
+
+	lib, err := NewLibrary(kinds)
+	if err != nil {
+		// The default library is a compile-time constant in spirit; a
+		// construction error is a programming bug, not a runtime condition.
+		panic(err)
+	}
+	return lib
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/attack"
+	"repro/internal/layout"
+	"repro/internal/ml"
+	"repro/internal/obfuscate"
+	"repro/internal/sim"
+	"repro/internal/split"
+	"repro/internal/timing"
+)
+
+// The ext* experiments go beyond the paper: a classifier bake-off including
+// a linear model, and a defender-side evaluation of layout-level
+// countermeasures with their wirelength cost. They are registered alongside
+// the paper's tables and figures.
+
+// extExperiments returns the extension experiments.
+func extExperiments() []Experiment {
+	return []Experiment{
+		{ID: "ext-classifiers", Title: "Extension: classifier bake-off (Bagging/REPTree vs RandomForest vs logistic)", Run: ExtClassifiers},
+		{ID: "ext-defense", Title: "Extension: layout-level defenses (routing perturbation, wire lifting, trunk jogs) vs attack", Run: ExtDefense},
+		{ID: "ext-recovery", Title: "Extension: functional netlist recovery from PA pairings (logic simulation)", Run: ExtRecovery},
+	}
+}
+
+// ExtRecovery goes past the paper's structural PA metric: it rewires each
+// design's BEOL according to the attacker's proximity-attack picks and
+// simulates the reconstruction against the reference on random input
+// vectors. Functional recovery exceeds structural success because wrong
+// guesses often wire in correlated signals.
+func ExtRecovery(s *Suite, w io.Writer) error {
+	const layer = 8
+	const vectors = 16
+	chs, err := s.Challenges(layer)
+	if err != nil {
+		return err
+	}
+	res, err := s.Run(attack.WithY(attack.Imp9()), layer)
+	if err != nil {
+		return err
+	}
+	pa, err := s.RunPA(attack.WithY(attack.Imp9()), layer, 0)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "Extension: netlist recovery - split layer %d (Imp-9Y picks, %d vectors)\n", layer, vectors)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "design\tstructural (PA)\tfunctional\tchance-adjusted\tobservation pins")
+	var sSum, fSum float64
+	for d, ch := range chs {
+		rng := rand.New(rand.NewSource(s.Seed + int64(d)*13))
+		answers := res.Evals[d].PAAnswers(pa[d].BestFrac, rng)
+		pairing := map[int]int{}
+		for i := range ch.VPins {
+			if ch.VPins[i].IsDriverSide() && answers[i] >= 0 {
+				pairing[i] = int(answers[i])
+			}
+		}
+		rep, err := sim.EvaluateRecovery(ch, pairing, vectors, s.Seed+int64(d))
+		if err != nil {
+			return err
+		}
+		// Chance-adjusted: how far above the 0.5 coin-flip baseline the
+		// functional rate sits, rescaled to [0, 1].
+		adj := 2*rep.FunctionalRate - 1
+		if adj < 0 {
+			adj = 0
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%d\n", ch.Design.Name,
+			fmtPct(rep.StructuralRate), fmtPct(rep.FunctionalRate), fmtPct(adj), rep.CutSinkPins)
+		sSum += rep.StructuralRate
+		fSum += rep.FunctionalRate
+	}
+	n := float64(len(chs))
+	fmt.Fprintf(tw, "Avg\t%s\t%s\t\t\n", fmtPct(sSum/n), fmtPct(fSum/n))
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}
+
+// ExtClassifiers compares classifiers under the Imp-11 pipeline at split
+// layers 8 and 6: accuracy at fixed LoC sizes plus the pair-scoring AUC.
+func ExtClassifiers(s *Suite, w io.Writer) error {
+	logistic := attack.Imp11()
+	logistic.Name = "Imp-11-logistic"
+	logistic.Learner = func(ds *ml.Dataset, cfg attack.Config, rng *rand.Rand) (attack.Scorer, error) {
+		return ml.TrainLogistic(ds, ml.LogisticOptions{Features: cfg.Features}, rng)
+	}
+	forest := attack.WithBase(attack.Imp11(), ml.RandomTree, 0)
+	forest.Name = "Imp-11-RandomForest"
+	configs := []attack.Config{attack.Imp11(), forest, logistic}
+
+	for _, layer := range []int{8, 6} {
+		fmt.Fprintf(w, "Extension: classifier comparison - split layer %d (Imp-11 pipeline)\n", layer)
+		tw := newTab(w)
+		fmt.Fprintln(tw, "classifier\tacc@|LoC|=5\tacc@|LoC|=20\tpair AUC\truntime")
+		for _, cfg := range configs {
+			res, err := s.Run(cfg, layer)
+			if err != nil {
+				return err
+			}
+			var a5, a20, auc float64
+			for _, ev := range res.Evals {
+				a5 += ev.AccuracyAtK(5)
+				a20 += ev.AccuracyAtK(20)
+				auc += pairAUC(ev)
+			}
+			n := float64(len(res.Evals))
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.4f\t%v\n", cfg.Name,
+				fmtPct(a5/n), fmtPct(a20/n), auc/n,
+				(res.MeanTrainDur() + res.MeanTestDur()).Round(1e6))
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// pairAUC computes the AUC over an evaluation's scored pairs: the true
+// match's probability against the retained negatives, per v-pin, pooled.
+func pairAUC(ev *attack.Evaluation) float64 {
+	var scores []float64
+	var labels []bool
+	for a := 0; a < ev.N; a++ {
+		if ev.TruthP[a] >= 0 {
+			scores = append(scores, float64(ev.TruthP[a]))
+			labels = append(labels, true)
+		}
+		for _, c := range ev.Cands[a] {
+			if c.P < 0 || int(c.Other) == int(ev.Truth[a]) {
+				continue
+			}
+			scores = append(scores, float64(c.P))
+			labels = append(labels, false)
+		}
+	}
+	return ml.AUC(scores, labels)
+}
+
+// ExtDefense measures the attack against layout-level defenses at split
+// layer 6: routing perturbation with growing strength and wire lifting,
+// reporting attack accuracy, v-pin population, and wirelength overhead.
+func ExtDefense(s *Suite, w io.Writer) error {
+	const layer = 6
+	type variant struct {
+		name  string
+		apply func(d *layout.Design, seed int64) (*layout.Design, obfuscate.Cost, error)
+	}
+	variants := []variant{
+		{"perturb x2", func(d *layout.Design, seed int64) (*layout.Design, obfuscate.Cost, error) {
+			return obfuscate.PerturbRoutes(d, layer, 2.0, seed)
+		}},
+		{"perturb x4", func(d *layout.Design, seed int64) (*layout.Design, obfuscate.Cost, error) {
+			return obfuscate.PerturbRoutes(d, layer, 4.0, seed)
+		}},
+		{"lift 50% M5-M6 +2", func(d *layout.Design, seed int64) (*layout.Design, obfuscate.Cost, error) {
+			return obfuscate.LiftNets(d, 5, 6, 2, 0.5, seed)
+		}},
+		{"trunk jogs <=4", func(d *layout.Design, seed int64) (*layout.Design, obfuscate.Cost, error) {
+			return obfuscate.JogTrunks(d, layer, 4, 1.0, seed)
+		}},
+	}
+
+	base, err := s.Run(attack.Imp11(), layer)
+	if err != nil {
+		return err
+	}
+	baseTiming := make([]timing.DesignTiming, len(s.Designs))
+	for i, d := range s.Designs {
+		baseTiming[i] = timing.Analyze(d)
+	}
+	fmt.Fprintf(w, "Extension: layout-level defenses - split layer %d (Imp-11)\n", layer)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "defense\tavg v-pins\tacc@|LoC|=10\twirelength overhead\tdelay overhead")
+	var baseAcc, baseVp float64
+	for _, ev := range base.Evals {
+		baseAcc += ev.AccuracyAtK(10)
+		baseVp += float64(ev.N)
+	}
+	n := float64(len(base.Evals))
+	fmt.Fprintf(tw, "none\t%.0f\t%s\t-\t-\n", baseVp/n, fmtPct(baseAcc/n))
+
+	for vi, v := range variants {
+		chs := make([]*split.Challenge, len(s.Designs))
+		var overhead, delayOH float64
+		for i, d := range s.Designs {
+			nd, cost, err := v.apply(d, int64(7000+100*vi+i))
+			if err != nil {
+				return err
+			}
+			overhead += cost.Overhead()
+			delayOH += timing.Overhead(baseTiming[i], timing.Analyze(nd))
+			if chs[i], err = split.NewChallenge(nd, layer); err != nil {
+				return err
+			}
+		}
+		cfg := attack.Imp11()
+		cfg.Name = fmt.Sprintf("Imp-11-def%d", vi)
+		cfg.Seed = s.Seed
+		res, err := attack.Run(cfg, chs)
+		if err != nil {
+			return err
+		}
+		var acc, vp float64
+		for _, ev := range res.Evals {
+			acc += ev.AccuracyAtK(10)
+			vp += float64(ev.N)
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%s\t%.2f%%\t%.2f%%\n",
+			v.name, vp/n, fmtPct(acc/n), overhead/n*100, delayOH/n*100)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+func TestFormatHelpers(t *testing.T) {
+	if got := fmtLoC(-1); got != "-" {
+		t.Errorf("fmtLoC(-1) = %q, want dash (paper's unreachable marker)", got)
+	}
+	if got := fmtLoC(12.34); got != "12.3" {
+		t.Errorf("fmtLoC = %q", got)
+	}
+	if got := fmtFrac(-1); got != "-" {
+		t.Errorf("fmtFrac(-1) = %q", got)
+	}
+	if got := fmtFrac(0.0123); got != "1.23%" {
+		t.Errorf("fmtFrac = %q", got)
+	}
+	if got := fmtPct(0.5); got != "50.00%" {
+		t.Errorf("fmtPct = %q", got)
+	}
+}
+
+func TestTableIVConfigsPerLayer(t *testing.T) {
+	if got := len(tableIVConfigs(8)); got != 8 {
+		t.Errorf("layer 8 has %d configs, want 8 (4 + 4 Y variants)", got)
+	}
+	for _, layer := range []int{6, 4} {
+		cfgs := tableIVConfigs(layer)
+		if len(cfgs) != 4 {
+			t.Errorf("layer %d has %d configs, want 4", layer, len(cfgs))
+		}
+		for _, c := range cfgs {
+			if c.LimitDiffVpinY {
+				t.Errorf("layer %d includes Y config %s", layer, c.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package features computes the 11 pair-wise layout features of the paper's
+// machine-learning model (§III-B) from a split-manufacturing challenge.
+//
+// Each sample describes a *pair* of v-pins and is labelled by whether the
+// two are truly the two sides of one cut net. The Extractor precomputes all
+// per-v-pin quantities once so the inner testing loop — which may evaluate
+// tens of millions of pairs — only performs a few arithmetic operations per
+// pair.
+package features
+
+import (
+	"repro/internal/split"
+)
+
+// Feature indices. The paper's "first 9 features" are DiffPinX through
+// DiffArea; Imp-7 removes TotalWirelength and TotalArea; Imp-11 adds the
+// two congestion features.
+const (
+	DiffPinX = iota
+	DiffPinY
+	ManhattanPin
+	DiffVpinX
+	DiffVpinY
+	ManhattanVpin
+	TotalWirelength
+	TotalArea
+	DiffArea
+	PlacementCongestion
+	RoutingCongestion
+	// NumFeatures is the size of a full feature vector.
+	NumFeatures
+)
+
+// Names maps feature indices to the names used in the paper.
+var Names = [NumFeatures]string{
+	"DiffPinX",
+	"DiffPinY",
+	"ManhattanPin",
+	"DiffVpinX",
+	"DiffVpinY",
+	"ManhattanVpin",
+	"TotalWireLength",
+	"TotalCellArea",
+	"DiffCellArea",
+	"PlacementCongestion",
+	"RoutingCongestion",
+}
+
+// Set9 is the feature subset of the ML-9 and Imp-9 configurations: the
+// first nine features of §III-B.
+func Set9() []int {
+	return []int{DiffPinX, DiffPinY, ManhattanPin, DiffVpinX, DiffVpinY,
+		ManhattanVpin, TotalWirelength, TotalArea, DiffArea}
+}
+
+// Set7 is Imp-7's subset: Set9 minus the two least important features,
+// TotalWirelength and TotalCellArea (paper §IV).
+func Set7() []int {
+	return []int{DiffPinX, DiffPinY, ManhattanPin, DiffVpinX, DiffVpinY,
+		ManhattanVpin, DiffArea}
+}
+
+// Set11 is the full feature set of Imp-11.
+func Set11() []int {
+	s := make([]int, NumFeatures)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// Extractor computes pair feature vectors for one challenge.
+type Extractor struct {
+	n              int
+	px, py, vx, vy []float64
+	w, inA, outA   []float64
+	pc, rc         []float64
+	driver         []bool
+}
+
+// NewExtractor caches the per-v-pin features (§III-A) of all v-pins in c.
+func NewExtractor(c *split.Challenge) *Extractor {
+	n := len(c.VPins)
+	e := &Extractor{
+		n:  n,
+		px: make([]float64, n), py: make([]float64, n),
+		vx: make([]float64, n), vy: make([]float64, n),
+		w: make([]float64, n), inA: make([]float64, n), outA: make([]float64, n),
+		pc: make([]float64, n), rc: make([]float64, n),
+		driver: make([]bool, n),
+	}
+	for i := range c.VPins {
+		v := &c.VPins[i]
+		e.px[i], e.py[i] = float64(v.PinLoc.X), float64(v.PinLoc.Y)
+		e.vx[i], e.vy[i] = float64(v.Pos.X), float64(v.Pos.Y)
+		e.w[i] = float64(v.Wirelength)
+		e.inA[i], e.outA[i] = v.InArea, v.OutArea
+		e.pc[i], e.rc[i] = c.PC(v), c.RC(v)
+		e.driver[i] = v.IsDriverSide()
+	}
+	return e
+}
+
+// N returns the number of v-pins the extractor covers.
+func (e *Extractor) N() int { return e.n }
+
+// Legal reports whether the pair (a, b) is electrically legal: at most one
+// of the two fragments may end in an output pin.
+func (e *Extractor) Legal(a, b int) bool {
+	return !(e.driver[a] && e.driver[b])
+}
+
+// Pair fills out with the 11 features of the v-pin pair (a, b). out must
+// have length NumFeatures. All features are symmetric: Pair(a, b) equals
+// Pair(b, a).
+func (e *Extractor) Pair(a, b int, out []float64) {
+	out[DiffPinX] = abs(e.px[a] - e.px[b])
+	out[DiffPinY] = abs(e.py[a] - e.py[b])
+	out[ManhattanPin] = out[DiffPinX] + out[DiffPinY]
+	out[DiffVpinX] = abs(e.vx[a] - e.vx[b])
+	out[DiffVpinY] = abs(e.vy[a] - e.vy[b])
+	out[ManhattanVpin] = out[DiffVpinX] + out[DiffVpinY]
+	out[TotalWirelength] = e.w[a] + e.w[b]
+	out[TotalArea] = e.inA[a] + e.inA[b] + e.outA[a] + e.outA[b]
+	out[DiffArea] = (e.outA[a] + e.outA[b]) - (e.inA[a] + e.inA[b])
+	out[PlacementCongestion] = e.pc[a] + e.pc[b]
+	out[RoutingCongestion] = e.rc[a] + e.rc[b]
+}
+
+// VpinDist returns the ManhattanVpin distance of the pair, used for
+// neighborhood filtering and the proximity attack without materialising a
+// full feature vector.
+func (e *Extractor) VpinDist(a, b int) float64 {
+	return abs(e.vx[a]-e.vx[b]) + abs(e.vy[a]-e.vy[b])
+}
+
+// DiffVpinYOf returns |vy_a - vy_b|, used by the "Y" configurations that
+// exploit the single routing direction of the top metal layer.
+func (e *Extractor) DiffVpinYOf(a, b int) float64 {
+	return abs(e.vy[a] - e.vy[b])
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

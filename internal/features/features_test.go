@@ -1,0 +1,193 @@
+package features
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/split"
+)
+
+var (
+	chOnce sync.Once
+	chVal  *split.Challenge
+)
+
+func testChallenge(t *testing.T) *split.Challenge {
+	t.Helper()
+	chOnce.Do(func() {
+		p := layout.SuiteProfiles(layout.SuiteConfig{Scale: 0.2, Seed: 21})[4] // sb18, smallest
+		d, err := layout.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := split.NewChallenge(d, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chVal = c
+	})
+	if chVal == nil {
+		t.Fatal("challenge generation failed earlier")
+	}
+	return chVal
+}
+
+func TestFeatureSets(t *testing.T) {
+	if len(Set9()) != 9 || len(Set7()) != 7 || len(Set11()) != 11 {
+		t.Fatalf("set sizes = %d/%d/%d, want 9/7/11", len(Set9()), len(Set7()), len(Set11()))
+	}
+	in9 := map[int]bool{}
+	for _, f := range Set9() {
+		in9[f] = true
+	}
+	for _, f := range Set7() {
+		if !in9[f] {
+			t.Errorf("Set7 feature %s not in Set9", Names[f])
+		}
+	}
+	if in9[PlacementCongestion] || in9[RoutingCongestion] {
+		t.Error("congestion features must not be in Set9")
+	}
+	has := func(set []int, f int) bool {
+		for _, x := range set {
+			if x == f {
+				return true
+			}
+		}
+		return false
+	}
+	if has(Set7(), TotalWirelength) || has(Set7(), TotalArea) {
+		t.Error("Set7 must exclude TotalWireLength and TotalCellArea")
+	}
+	if !has(Set11(), RoutingCongestion) {
+		t.Error("Set11 must include RoutingCongestion")
+	}
+}
+
+func TestNamesComplete(t *testing.T) {
+	for i, n := range Names {
+		if n == "" {
+			t.Errorf("feature %d unnamed", i)
+		}
+	}
+}
+
+func TestPairSymmetry(t *testing.T) {
+	e := NewExtractor(testChallenge(t))
+	rng := rand.New(rand.NewSource(1))
+	fa := make([]float64, NumFeatures)
+	fb := make([]float64, NumFeatures)
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Intn(e.N()), rng.Intn(e.N())
+		e.Pair(a, b, fa)
+		e.Pair(b, a, fb)
+		for k := 0; k < NumFeatures; k++ {
+			if fa[k] != fb[k] {
+				t.Fatalf("feature %s asymmetric for pair (%d,%d): %f vs %f",
+					Names[k], a, b, fa[k], fb[k])
+			}
+		}
+	}
+}
+
+func TestPairAgainstHandComputation(t *testing.T) {
+	c := testChallenge(t)
+	e := NewExtractor(c)
+	a, b := 0, 1
+	f := make([]float64, NumFeatures)
+	e.Pair(a, b, f)
+
+	va, vb := &c.VPins[a], &c.VPins[b]
+	wantDiffVpinX := float64((va.Pos.X - vb.Pos.X).Abs())
+	if f[DiffVpinX] != wantDiffVpinX {
+		t.Errorf("DiffVpinX = %f, want %f", f[DiffVpinX], wantDiffVpinX)
+	}
+	wantManPin := float64((va.PinLoc.X - vb.PinLoc.X).Abs() + (va.PinLoc.Y - vb.PinLoc.Y).Abs())
+	if f[ManhattanPin] != wantManPin {
+		t.Errorf("ManhattanPin = %f, want %f", f[ManhattanPin], wantManPin)
+	}
+	wantW := float64(va.Wirelength + vb.Wirelength)
+	if f[TotalWirelength] != wantW {
+		t.Errorf("TotalWireLength = %f, want %f", f[TotalWirelength], wantW)
+	}
+	wantTotalArea := va.InArea + vb.InArea + va.OutArea + vb.OutArea
+	if f[TotalArea] != wantTotalArea {
+		t.Errorf("TotalCellArea = %f, want %f", f[TotalArea], wantTotalArea)
+	}
+	wantDiffArea := (va.OutArea + vb.OutArea) - (va.InArea + vb.InArea)
+	if f[DiffArea] != wantDiffArea {
+		t.Errorf("DiffCellArea = %f, want %f", f[DiffArea], wantDiffArea)
+	}
+	wantPC := c.PC(va) + c.PC(vb)
+	if f[PlacementCongestion] != wantPC {
+		t.Errorf("PlacementCongestion = %f, want %f", f[PlacementCongestion], wantPC)
+	}
+}
+
+func TestManhattanConsistency(t *testing.T) {
+	e := NewExtractor(testChallenge(t))
+	f := make([]float64, NumFeatures)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Intn(e.N()), rng.Intn(e.N())
+		e.Pair(a, b, f)
+		if f[ManhattanPin] != f[DiffPinX]+f[DiffPinY] {
+			t.Fatal("ManhattanPin != DiffPinX + DiffPinY")
+		}
+		if f[ManhattanVpin] != f[DiffVpinX]+f[DiffVpinY] {
+			t.Fatal("ManhattanVpin != DiffVpinX + DiffVpinY")
+		}
+		if got := e.VpinDist(a, b); got != f[ManhattanVpin] {
+			t.Fatalf("VpinDist = %f, want %f", got, f[ManhattanVpin])
+		}
+		if got := e.DiffVpinYOf(a, b); got != f[DiffVpinY] {
+			t.Fatalf("DiffVpinYOf = %f, want %f", got, f[DiffVpinY])
+		}
+	}
+}
+
+func TestMatchingPairsHaveSaneFeatures(t *testing.T) {
+	c := testChallenge(t)
+	e := NewExtractor(c)
+	f := make([]float64, NumFeatures)
+	for i := range c.VPins {
+		v := &c.VPins[i]
+		if !e.Legal(i, v.Match) {
+			t.Fatalf("true match (%d,%d) reported illegal", i, v.Match)
+		}
+		e.Pair(i, v.Match, f)
+		for k := 0; k < NumFeatures; k++ {
+			if k == DiffArea {
+				continue // the only feature allowed to be negative
+			}
+			if f[k] < 0 {
+				t.Fatalf("feature %s negative for matching pair: %f", Names[k], f[k])
+			}
+		}
+		if f[TotalArea] <= 0 {
+			t.Fatalf("matching pair (%d,%d) has zero TotalCellArea", i, v.Match)
+		}
+	}
+}
+
+func TestLegalMirrorsChallengeRule(t *testing.T) {
+	c := testChallenge(t)
+	e := NewExtractor(c)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		a, b := rng.Intn(e.N()), rng.Intn(e.N())
+		want := split.LegalPair(&c.VPins[a], &c.VPins[b])
+		if got := e.Legal(a, b); got != want {
+			t.Fatalf("Legal(%d,%d) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestExtractorN(t *testing.T) {
+	c := testChallenge(t)
+	if NewExtractor(c).N() != len(c.VPins) {
+		t.Error("extractor N mismatch")
+	}
+}

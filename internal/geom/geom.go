@@ -1,0 +1,180 @@
+// Package geom provides the fixed-point geometric primitives used by the
+// layout, routing, and attack packages: points, rectangles, Manhattan
+// metrics, and spatial grids for density (congestion) queries.
+//
+// All coordinates are integer database units (DBU). One DBU corresponds to
+// one nanometer in the synthetic technology used by this repository, but
+// nothing in the package depends on the physical interpretation.
+package geom
+
+import "fmt"
+
+// Coord is a layout coordinate in database units.
+type Coord int64
+
+// Abs returns the absolute value of c.
+func (c Coord) Abs() Coord {
+	if c < 0 {
+		return -c
+	}
+	return c
+}
+
+// Point is a location on a layout plane.
+type Point struct {
+	X, Y Coord
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y Coord) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Manhattan returns the L1 (rectilinear) distance between p and q. It is
+// the minimum wirelength of any rectilinear route connecting the two points,
+// which is why it appears throughout the attack's feature set.
+func (p Point) Manhattan(q Point) Coord {
+	return (p.X - q.X).Abs() + (p.Y - q.Y).Abs()
+}
+
+// Chebyshev returns the L∞ distance between p and q.
+func (p Point) Chebyshev(q Point) Coord {
+	dx := (p.X - q.X).Abs()
+	dy := (p.Y - q.Y).Abs()
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+// In reports whether p lies inside r (inclusive of all edges).
+func (p Point) In(r Rect) bool {
+	return p.X >= r.Lo.X && p.X <= r.Hi.X && p.Y >= r.Lo.Y && p.Y <= r.Hi.Y
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle. Lo is the lower-left corner and Hi the
+// upper-right corner; a Rect is well formed when Lo.X <= Hi.X and
+// Lo.Y <= Hi.Y.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// R is shorthand for a rectangle from (x0,y0) to (x1,y1), normalising the
+// corner order.
+func R(x0, y0, x1, y1 Coord) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Lo: Pt(x0, y0), Hi: Pt(x1, y1)}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() Coord { return r.Hi.X - r.Lo.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() Coord { return r.Hi.Y - r.Lo.Y }
+
+// HalfPerimeter returns the half-perimeter wirelength (HPWL) of r, the
+// standard lower bound on the wirelength of a net whose pins have bounding
+// box r.
+func (r Rect) HalfPerimeter() Coord { return r.Width() + r.Height() }
+
+// Area returns the area of r in square database units.
+func (r Rect) Area() int64 { return int64(r.Width()) * int64(r.Height()) }
+
+// Center returns the midpoint of r (rounded down).
+func (r Rect) Center() Point {
+	return Pt((r.Lo.X+r.Hi.X)/2, (r.Lo.Y+r.Hi.Y)/2)
+}
+
+// Contains reports whether r fully contains s.
+func (r Rect) Contains(s Rect) bool {
+	return s.Lo.In(r) && s.Hi.In(r)
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Lo.X <= s.Hi.X && s.Lo.X <= r.Hi.X &&
+		r.Lo.Y <= s.Hi.Y && s.Lo.Y <= r.Hi.Y
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		Lo: Pt(min(r.Lo.X, s.Lo.X), min(r.Lo.Y, s.Lo.Y)),
+		Hi: Pt(max(r.Hi.X, s.Hi.X), max(r.Hi.Y, s.Hi.Y)),
+	}
+}
+
+// Expand returns r grown by d on every side. A negative d shrinks the
+// rectangle; the result is normalised so it stays well formed.
+func (r Rect) Expand(d Coord) Rect {
+	return R(r.Lo.X-d, r.Lo.Y-d, r.Hi.X+d, r.Hi.Y+d)
+}
+
+// ClampPoint returns the point of r nearest to p.
+func (r Rect) ClampPoint(p Point) Point {
+	return Pt(clamp(p.X, r.Lo.X, r.Hi.X), clamp(p.Y, r.Lo.Y, r.Hi.Y))
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string { return fmt.Sprintf("[%v %v]", r.Lo, r.Hi) }
+
+// BoundingBox returns the smallest rectangle containing all pts. It panics
+// when pts is empty, because an empty bounding box has no meaningful value.
+func BoundingBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		panic("geom: BoundingBox of no points")
+	}
+	r := Rect{Lo: pts[0], Hi: pts[0]}
+	for _, p := range pts[1:] {
+		if p.X < r.Lo.X {
+			r.Lo.X = p.X
+		}
+		if p.Y < r.Lo.Y {
+			r.Lo.Y = p.Y
+		}
+		if p.X > r.Hi.X {
+			r.Hi.X = p.X
+		}
+		if p.Y > r.Hi.Y {
+			r.Hi.Y = p.Y
+		}
+	}
+	return r
+}
+
+// Centroid returns the arithmetic mean of pts (rounded toward zero). It
+// panics when pts is empty.
+func Centroid(pts []Point) Point {
+	if len(pts) == 0 {
+		panic("geom: Centroid of no points")
+	}
+	var sx, sy int64
+	for _, p := range pts {
+		sx += int64(p.X)
+		sy += int64(p.Y)
+	}
+	n := int64(len(pts))
+	return Pt(Coord(sx/n), Coord(sy/n))
+}
+
+func clamp(v, lo, hi Coord) Coord {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

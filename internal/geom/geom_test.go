@@ -1,0 +1,298 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCoordAbs(t *testing.T) {
+	cases := []struct {
+		in, want Coord
+	}{{0, 0}, {5, 5}, {-5, 5}, {-1, 1}}
+	for _, c := range cases {
+		if got := c.in.Abs(); got != c.want {
+			t.Errorf("Abs(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestManhattanBasic(t *testing.T) {
+	if d := Pt(0, 0).Manhattan(Pt(3, 4)); d != 7 {
+		t.Errorf("Manhattan = %d, want 7", d)
+	}
+	if d := Pt(-2, -2).Manhattan(Pt(2, 2)); d != 8 {
+		t.Errorf("Manhattan = %d, want 8", d)
+	}
+}
+
+func TestManhattanSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by int32) bool {
+		a, b := Pt(Coord(ax), Coord(ay)), Pt(Coord(bx), Coord(by))
+		return a.Manhattan(b) == b.Manhattan(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattanIdentity(t *testing.T) {
+	f := func(x, y int32) bool {
+		p := Pt(Coord(x), Coord(y))
+		return p.Manhattan(p) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattanTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Pt(Coord(ax), Coord(ay))
+		b := Pt(Coord(bx), Coord(by))
+		c := Pt(Coord(cx), Coord(cy))
+		return a.Manhattan(c) <= a.Manhattan(b)+b.Manhattan(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChebyshevLeqManhattan(t *testing.T) {
+	f := func(ax, ay, bx, by int16) bool {
+		a := Pt(Coord(ax), Coord(ay))
+		b := Pt(Coord(bx), Coord(by))
+		return a.Chebyshev(b) <= a.Manhattan(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(ax, ay, bx, by int32) bool {
+		a := Pt(Coord(ax), Coord(ay))
+		b := Pt(Coord(bx), Coord(by))
+		return a.Add(b).Sub(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectNormalisation(t *testing.T) {
+	r := R(10, 20, 0, 5)
+	if r.Lo != Pt(0, 5) || r.Hi != Pt(10, 20) {
+		t.Errorf("R did not normalise corners: %v", r)
+	}
+}
+
+func TestRectMetrics(t *testing.T) {
+	r := R(0, 0, 10, 4)
+	if r.Width() != 10 || r.Height() != 4 {
+		t.Errorf("Width/Height = %d/%d, want 10/4", r.Width(), r.Height())
+	}
+	if r.HalfPerimeter() != 14 {
+		t.Errorf("HalfPerimeter = %d, want 14", r.HalfPerimeter())
+	}
+	if r.Area() != 40 {
+		t.Errorf("Area = %d, want 40", r.Area())
+	}
+	if r.Center() != Pt(5, 2) {
+		t.Errorf("Center = %v, want (5,2)", r.Center())
+	}
+}
+
+func TestRectContainsAndIn(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	if !Pt(0, 0).In(r) || !Pt(10, 10).In(r) || !Pt(5, 5).In(r) {
+		t.Error("edge and interior points must be In the rect")
+	}
+	if Pt(11, 5).In(r) || Pt(-1, 5).In(r) {
+		t.Error("outside points must not be In the rect")
+	}
+	if !r.Contains(R(2, 2, 8, 8)) {
+		t.Error("rect must contain interior rect")
+	}
+	if r.Contains(R(2, 2, 12, 8)) {
+		t.Error("rect must not contain overflowing rect")
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	if !a.Intersects(R(10, 10, 20, 20)) {
+		t.Error("touching rects intersect")
+	}
+	if a.Intersects(R(11, 0, 20, 10)) {
+		t.Error("disjoint rects must not intersect")
+	}
+	if !a.Intersects(R(5, 5, 6, 6)) {
+		t.Error("contained rect intersects")
+	}
+}
+
+func TestRectUnionCommutes(t *testing.T) {
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 int16) bool {
+		a := R(Coord(a0), Coord(a1), Coord(a2), Coord(a3))
+		b := R(Coord(b0), Coord(b1), Coord(b2), Coord(b3))
+		u := a.Union(b)
+		return u == b.Union(a) && u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectExpand(t *testing.T) {
+	r := R(10, 10, 20, 20).Expand(5)
+	if r != R(5, 5, 25, 25) {
+		t.Errorf("Expand = %v", r)
+	}
+	shrunk := R(0, 0, 10, 10).Expand(-6)
+	if shrunk.Width() < 0 || shrunk.Height() < 0 {
+		t.Errorf("over-shrunk rect not normalised: %v", shrunk)
+	}
+}
+
+func TestClampPoint(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct{ in, want Point }{
+		{Pt(5, 5), Pt(5, 5)},
+		{Pt(-3, 5), Pt(0, 5)},
+		{Pt(15, 25), Pt(10, 10)},
+	}
+	for _, c := range cases {
+		if got := r.ClampPoint(c.in); got != c.want {
+			t.Errorf("ClampPoint(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	pts := []Point{Pt(3, 7), Pt(-1, 2), Pt(5, 0)}
+	bb := BoundingBox(pts)
+	if bb != R(-1, 0, 5, 7) {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+	for _, p := range pts {
+		if !p.In(bb) {
+			t.Errorf("point %v outside its bounding box", p)
+		}
+	}
+}
+
+func TestBoundingBoxPanicsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BoundingBox(nil) should panic")
+		}
+	}()
+	BoundingBox(nil)
+}
+
+func TestCentroid(t *testing.T) {
+	c := Centroid([]Point{Pt(0, 0), Pt(10, 20)})
+	if c != Pt(5, 10) {
+		t.Errorf("Centroid = %v, want (5,10)", c)
+	}
+	single := Centroid([]Point{Pt(7, -3)})
+	if single != Pt(7, -3) {
+		t.Errorf("Centroid of one point = %v", single)
+	}
+}
+
+func TestCentroidInsideBoundingBox(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		n := 1 + rng.Intn(20)
+		pts := make([]Point, n)
+		for j := range pts {
+			pts[j] = Pt(Coord(rng.Intn(1000)), Coord(rng.Intn(1000)))
+		}
+		c := Centroid(pts)
+		if !c.In(BoundingBox(pts)) {
+			t.Fatalf("centroid %v outside bbox %v", c, BoundingBox(pts))
+		}
+	}
+}
+
+func TestGridCounts(t *testing.T) {
+	g := NewGrid(R(0, 0, 100, 100), 10)
+	g.Add(Pt(5, 5))
+	g.Add(Pt(6, 7))
+	g.Add(Pt(95, 95))
+	if g.Total() != 3 {
+		t.Errorf("Total = %d, want 3", g.Total())
+	}
+	if got := g.CountAt(Pt(3, 3)); got != 2 {
+		t.Errorf("CountAt(3,3) = %d, want 2", got)
+	}
+	if got := g.CountAt(Pt(99, 99)); got != 1 {
+		t.Errorf("CountAt(99,99) = %d, want 1", got)
+	}
+	if got := g.CountAt(Pt(50, 50)); got != 0 {
+		t.Errorf("CountAt(50,50) = %d, want 0", got)
+	}
+}
+
+func TestGridWindow(t *testing.T) {
+	g := NewGrid(R(0, 0, 100, 100), 10)
+	// One point in each of the nine tiles around (50,50).
+	for dx := Coord(-10); dx <= 10; dx += 10 {
+		for dy := Coord(-10); dy <= 10; dy += 10 {
+			g.Add(Pt(55+dx, 55+dy))
+		}
+	}
+	if got := g.CountWindow(Pt(55, 55), 1); got != 9 {
+		t.Errorf("CountWindow radius 1 = %d, want 9", got)
+	}
+	if got := g.CountWindow(Pt(55, 55), 0); got != 1 {
+		t.Errorf("CountWindow radius 0 = %d, want 1", got)
+	}
+	if d := g.Density(Pt(55, 55), 1); d != 1.0 {
+		t.Errorf("Density = %f, want 1.0", d)
+	}
+}
+
+func TestGridClampsOutOfBounds(t *testing.T) {
+	g := NewGrid(R(0, 0, 100, 100), 10)
+	g.Add(Pt(-50, -50))
+	g.Add(Pt(500, 500))
+	if got := g.CountAt(Pt(0, 0)); got != 1 {
+		t.Errorf("clamped low point count = %d, want 1", got)
+	}
+	if got := g.CountAt(Pt(100, 100)); got != 1 {
+		t.Errorf("clamped high point count = %d, want 1", got)
+	}
+}
+
+func TestGridWindowAtEdgeDoesNotPanic(t *testing.T) {
+	g := NewGrid(R(0, 0, 100, 100), 10)
+	g.Add(Pt(0, 0))
+	if got := g.CountWindow(Pt(0, 0), 3); got != 1 {
+		t.Errorf("edge window = %d, want 1", got)
+	}
+}
+
+func TestNewGridPanicsOnBadTile(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid with tile 0 should panic")
+		}
+	}()
+	NewGrid(R(0, 0, 10, 10), 0)
+}
+
+func TestGridTotalMatchesSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := NewGrid(R(0, 0, 1000, 1000), 37)
+	n := 500
+	for i := 0; i < n; i++ {
+		g.Add(Pt(Coord(rng.Intn(1001)), Coord(rng.Intn(1001))))
+	}
+	nx, ny := g.Dims()
+	if got := g.CountWindow(g.Bounds().Center(), nx+ny); got != n {
+		t.Errorf("whole-grid window = %d, want %d", got, n)
+	}
+}

@@ -1,0 +1,100 @@
+package geom
+
+// Grid bins points of a layout plane into square tiles and answers density
+// queries over tile neighbourhoods. The attack uses grids for the placement
+// congestion (pin density) and routing congestion (v-pin density) features,
+// and the router uses them for capacity bookkeeping.
+type Grid struct {
+	bounds Rect
+	tile   Coord
+	nx, ny int
+	count  []int
+	total  int
+}
+
+// NewGrid creates a grid covering bounds with square tiles of the given
+// size. The tile size must be positive; the rightmost column and topmost row
+// absorb any remainder of the bounds that does not divide evenly.
+func NewGrid(bounds Rect, tile Coord) *Grid {
+	if tile <= 0 {
+		panic("geom: non-positive grid tile size")
+	}
+	nx := int(bounds.Width()/tile) + 1
+	ny := int(bounds.Height()/tile) + 1
+	return &Grid{
+		bounds: bounds,
+		tile:   tile,
+		nx:     nx,
+		ny:     ny,
+		count:  make([]int, nx*ny),
+	}
+}
+
+// Bounds returns the region covered by the grid.
+func (g *Grid) Bounds() Rect { return g.bounds }
+
+// TileSize returns the tile edge length.
+func (g *Grid) TileSize() Coord { return g.tile }
+
+// Dims returns the number of tiles in x and y.
+func (g *Grid) Dims() (nx, ny int) { return g.nx, g.ny }
+
+// Total returns the number of points added so far.
+func (g *Grid) Total() int { return g.total }
+
+func (g *Grid) tileOf(p Point) (int, int) {
+	q := g.bounds.ClampPoint(p)
+	ix := int((q.X - g.bounds.Lo.X) / g.tile)
+	iy := int((q.Y - g.bounds.Lo.Y) / g.tile)
+	if ix >= g.nx {
+		ix = g.nx - 1
+	}
+	if iy >= g.ny {
+		iy = g.ny - 1
+	}
+	return ix, iy
+}
+
+// Add records one point. Points outside the bounds are clamped to the
+// nearest edge tile, so callers may pass slightly out-of-die coordinates
+// (e.g. jittered v-pins) without special-casing.
+func (g *Grid) Add(p Point) {
+	ix, iy := g.tileOf(p)
+	g.count[iy*g.nx+ix]++
+	g.total++
+}
+
+// CountAt returns the number of points recorded in the tile containing p.
+func (g *Grid) CountAt(p Point) int {
+	ix, iy := g.tileOf(p)
+	return g.count[iy*g.nx+ix]
+}
+
+// CountWindow returns the number of points in the (2*radius+1)² tile window
+// centred on the tile containing p. A radius of 0 is the single tile.
+func (g *Grid) CountWindow(p Point, radius int) int {
+	ix, iy := g.tileOf(p)
+	sum := 0
+	for dy := -radius; dy <= radius; dy++ {
+		y := iy + dy
+		if y < 0 || y >= g.ny {
+			continue
+		}
+		for dx := -radius; dx <= radius; dx++ {
+			x := ix + dx
+			if x < 0 || x >= g.nx {
+				continue
+			}
+			sum += g.count[y*g.nx+x]
+		}
+	}
+	return sum
+}
+
+// Density returns CountWindow normalised by the window area in tiles, i.e.
+// points per tile. This is the congestion measurement used for the PC and RC
+// features: a density around the neighbourhood of a pin or v-pin.
+func (g *Grid) Density(p Point, radius int) float64 {
+	n := 2*radius + 1
+	return float64(g.CountWindow(p, radius)) / float64(n*n)
+}

@@ -1,0 +1,135 @@
+package layout
+
+import (
+	"testing"
+
+	"repro/internal/route"
+)
+
+// smallSuite is shared across tests; generating designs is the expensive
+// part of this package's tests.
+func smallSuite(t *testing.T) []*Design {
+	t.Helper()
+	designs, err := GenerateSuite(SuiteConfig{Scale: 0.15, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return designs
+}
+
+func TestGenerateSuiteNames(t *testing.T) {
+	designs := smallSuite(t)
+	want := []string{"sb1", "sb5", "sb10", "sb12", "sb18"}
+	if len(designs) != len(want) {
+		t.Fatalf("got %d designs, want %d", len(designs), len(want))
+	}
+	for i, d := range designs {
+		if d.Name != want[i] {
+			t.Errorf("design %d name %q, want %q", i, d.Name, want[i])
+		}
+	}
+}
+
+func TestSuiteDesignsValid(t *testing.T) {
+	for _, d := range smallSuite(t) {
+		if err := d.Netlist.Validate(); err != nil {
+			t.Errorf("%s: netlist invalid: %v", d.Name, err)
+		}
+		if err := d.Routing.Validate(); err != nil {
+			t.Errorf("%s: routing invalid: %v", d.Name, err)
+		}
+		if len(d.Routing.Routes) != len(d.Netlist.Nets) {
+			t.Errorf("%s: %d routes for %d nets", d.Name, len(d.Routing.Routes), len(d.Netlist.Nets))
+		}
+	}
+}
+
+func TestSuiteTrunkPopulations(t *testing.T) {
+	// Every design must have nets on the top layers, or the split-layer
+	// experiments would be empty; and populations must grow toward the
+	// bottom, as in real designs.
+	for _, d := range smallSuite(t) {
+		pop := d.Routing.LayerPopulation()
+		if pop[9] == 0 {
+			t.Errorf("%s: no nets with trunk M9", d.Name)
+		}
+		cut8 := pop[9]
+		cut6 := pop[9] + pop[8] + pop[7]
+		cut4 := cut6 + pop[6] + pop[5]
+		if !(cut4 > cut6 && cut6 > cut8) {
+			t.Errorf("%s: cut-net counts not increasing toward lower splits: %d/%d/%d",
+				d.Name, cut8, cut6, cut4)
+		}
+	}
+}
+
+func TestSuiteRelativeSizes(t *testing.T) {
+	designs := smallSuite(t)
+	byName := map[string]*Design{}
+	for _, d := range designs {
+		byName[d.Name] = d
+	}
+	cut8 := func(d *Design) int {
+		return d.Routing.LayerPopulation()[9]
+	}
+	// sb12 has the most top-layer nets and sb18 the fewest, as in Table I.
+	if cut8(byName["sb12"]) <= cut8(byName["sb1"]) {
+		t.Errorf("sb12 top-layer nets (%d) not above sb1 (%d)",
+			cut8(byName["sb12"]), cut8(byName["sb1"]))
+	}
+	if cut8(byName["sb18"]) > cut8(byName["sb5"]) {
+		t.Errorf("sb18 top-layer nets (%d) above sb5 (%d)",
+			cut8(byName["sb18"]), cut8(byName["sb5"]))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := SuiteProfiles(SuiteConfig{Scale: 0.1, Seed: 3})[0]
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Netlist.Nets) != len(b.Netlist.Nets) {
+		t.Fatal("net counts differ between identical runs")
+	}
+	for i := range a.Routing.Routes {
+		if a.Routing.Routes[i].TrunkA != b.Routing.Routes[i].TrunkA {
+			t.Fatalf("route %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestGenerateRejectsEmptyProfile(t *testing.T) {
+	if _, err := Generate(Profile{Name: "empty"}); err == nil {
+		t.Error("want error for empty profile")
+	}
+}
+
+func TestLayerFracsSumToOne(t *testing.T) {
+	f := layerFracs(TrunkTargets{T9: 100, T78: 400, T56: 1000}, 10000)
+	var sum float64
+	for m := 2; m <= route.NumMetal; m++ {
+		sum += f[m]
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("layer fractions sum to %f, want 1", sum)
+	}
+	if f[9] != 0.01 {
+		t.Errorf("f9 = %f, want 0.01", f[9])
+	}
+}
+
+func TestScaleChangesSize(t *testing.T) {
+	small := SuiteProfiles(SuiteConfig{Scale: 0.1})[0]
+	big := SuiteProfiles(SuiteConfig{Scale: 0.5})[0]
+	if small.NumNets >= big.NumNets {
+		t.Errorf("scale 0.1 nets (%d) not below scale 0.5 nets (%d)", small.NumNets, big.NumNets)
+	}
+	if small.DieSize != big.DieSize {
+		t.Errorf("die size should not scale with Scale")
+	}
+}

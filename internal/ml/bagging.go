@@ -1,0 +1,72 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Bagging is the bootstrap-aggregating meta-classifier. Following Weka, it
+// combines base trees by soft voting: the ensemble probability is the mean
+// of the per-tree leaf-frequency probabilities (paper eq. 1-3), and the
+// binary prediction applies a threshold — 0.5 by default, but the attack
+// varies it to control LoC sizes (paper §III-F).
+type Bagging struct {
+	Trees []*Tree
+}
+
+// DefaultBaggingSize is Weka's default number of REPTrees in Bagging. The
+// paper's headline models use exactly this.
+const DefaultBaggingSize = 10
+
+// DefaultForestSize is Weka's default number of RandomTrees in
+// RandomForest, the slower baseline the paper compares against.
+const DefaultForestSize = 100
+
+// TrainBagging trains n base trees on independent bootstrap resamples.
+func TrainBagging(ds *Dataset, n int, opts TreeOptions, rng *rand.Rand) (*Bagging, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ml: bagging size %d must be positive", n)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Bagging{Trees: make([]*Tree, 0, n)}
+	for i := 0; i < n; i++ {
+		boot := ds.Bootstrap(rng)
+		t, err := TrainTree(boot, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		b.Trees = append(b.Trees, t)
+	}
+	return b, nil
+}
+
+// TrainRandomForest is Bagging with RandomTree base classifiers — Weka's
+// RandomForest, used by the paper's earlier configuration [18].
+func TrainRandomForest(ds *Dataset, n int, features []int, rng *rand.Rand) (*Bagging, error) {
+	return TrainBagging(ds, n, TreeOptions{Kind: RandomTree, Features: features, MinLeaf: 1}, rng)
+}
+
+// Prob returns the soft-voting ensemble probability p(x) in [0, 1].
+func (b *Bagging) Prob(x []float64) float64 {
+	var sum float64
+	for _, t := range b.Trees {
+		sum += t.Prob(x)
+	}
+	return sum / float64(len(b.Trees))
+}
+
+// Predict applies threshold t to the ensemble probability.
+func (b *Bagging) Predict(x []float64, t float64) bool {
+	return b.Prob(x) >= t
+}
+
+// Nodes returns the total node count across all trees.
+func (b *Bagging) Nodes() int {
+	n := 0
+	for _, t := range b.Trees {
+		n += t.Nodes()
+	}
+	return n
+}

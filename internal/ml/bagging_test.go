@@ -1,0 +1,152 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func baggingAccuracy(b *Bagging, ds *Dataset, thr float64) float64 {
+	correct := 0
+	for i := range ds.X {
+		if b.Predict(ds.X[i], thr) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+func TestBaggingLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := noisyData(2000, 0.1, rng)
+	test := noisyData(1000, 0.0, rng)
+	b, err := TrainBagging(train, DefaultBaggingSize, TreeOptions{Kind: REPTree}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := baggingAccuracy(b, test, 0.5); acc < 0.78 {
+		t.Errorf("bagging test accuracy %.3f", acc)
+	}
+}
+
+func TestRandomForestLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := noisyData(1500, 0.1, rng)
+	test := noisyData(800, 0.0, rng)
+	b, err := TrainRandomForest(train, 25, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := baggingAccuracy(b, test, 0.5); acc < 0.70 {
+		t.Errorf("random forest test accuracy %.3f", acc)
+	}
+}
+
+func TestBaggingProbInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := noisyData(500, 0.2, rng)
+	b, err := TrainBagging(ds, 5, TreeOptions{Kind: REPTree}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, c float64) bool {
+		p := b.Prob([]float64{a, c})
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredictMonotonicInThreshold(t *testing.T) {
+	// Raising the threshold can only turn predictions off, never on —
+	// the property the LoC-size control of §III-F depends on.
+	rng := rand.New(rand.NewSource(4))
+	ds := noisyData(500, 0.2, rng)
+	b, err := TrainBagging(ds, 5, TreeOptions{Kind: REPTree}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.NormFloat64(), rng.Float64()}
+		prev := true
+		for _, thr := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+			cur := b.Predict(x, thr)
+			if cur && !prev {
+				t.Fatalf("prediction turned on as threshold rose at x=%v", x)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestBaggingSoftVoteIsMeanOfTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := noisyData(400, 0.1, rng)
+	b, err := TrainBagging(ds, 7, TreeOptions{Kind: REPTree}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, 0.6}
+	var sum float64
+	for _, tr := range b.Trees {
+		sum += tr.Prob(x)
+	}
+	want := sum / 7
+	if got := b.Prob(x); got != want {
+		t.Errorf("Prob = %f, want mean of trees %f", got, want)
+	}
+}
+
+func TestTrainBaggingRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := noisyData(50, 0.1, rng)
+	if _, err := TrainBagging(ds, 0, TreeOptions{}, rng); err == nil {
+		t.Error("bagging size 0 accepted")
+	}
+	if _, err := TrainBagging(&Dataset{}, 5, TreeOptions{}, rng); err == nil {
+		t.Error("empty dataset accepted")
+	}
+}
+
+func TestBaggingNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := noisyData(300, 0.1, rng)
+	b, err := TrainBagging(ds, 3, TreeOptions{Kind: REPTree}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, tr := range b.Trees {
+		sum += tr.Nodes()
+	}
+	if b.Nodes() != sum {
+		t.Errorf("Nodes = %d, want %d", b.Nodes(), sum)
+	}
+}
+
+func TestBaggingBeatsSingleTreeOnAverage(t *testing.T) {
+	// Aggregate stability: over several resamples of the task, the
+	// ensemble should be at least as accurate as a single tree.
+	var single, bagged float64
+	const rounds = 10
+	for r := 0; r < rounds; r++ {
+		rng := rand.New(rand.NewSource(int64(100 + r)))
+		train := noisyData(800, 0.15, rng)
+		test := noisyData(800, 0.0, rng)
+		tr, err := TrainTree(train, TreeOptions{Kind: REPTree}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := TrainBagging(train, 10, TreeOptions{Kind: REPTree}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single += accuracy(tr, test)
+		bagged += baggingAccuracy(b, test, 0.5)
+	}
+	if bagged < single-0.025*rounds {
+		t.Errorf("bagging mean accuracy %.3f clearly below single tree %.3f",
+			bagged/rounds, single/rounds)
+	}
+}

@@ -1,0 +1,55 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Inference benchmarks: pair scoring dominates attack runtime, so the
+// per-vector cost of the ensemble matters.
+
+func benchModel(b *testing.B, kind TreeKind, trees int) (*Bagging, [][]float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	ds := noisyData(5000, 0.15, rng)
+	m, err := TrainBagging(ds, trees, TreeOptions{Kind: kind}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := make([][]float64, 1024)
+	for i := range probes {
+		probes[i] = []float64{rng.NormFloat64(), rng.Float64()}
+	}
+	return m, probes
+}
+
+func BenchmarkBaggingProbREPTree(b *testing.B) {
+	m, probes := benchModel(b, REPTree, DefaultBaggingSize)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.Prob(probes[i%len(probes)])
+	}
+	_ = sink
+}
+
+func BenchmarkBaggingProbRandomForest(b *testing.B) {
+	m, probes := benchModel(b, RandomTree, DefaultForestSize)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += m.Prob(probes[i%len(probes)])
+	}
+	_ = sink
+}
+
+func BenchmarkTrainBaggingREPTree(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ds := noisyData(5000, 0.15, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainBagging(ds, DefaultBaggingSize, TreeOptions{Kind: REPTree}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

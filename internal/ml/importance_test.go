@@ -1,0 +1,54 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPermutationImportanceSeparatesSignalFromNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train := separableData(1500, rng) // feature 0 informative, feature 1 noise
+	test := separableData(800, rng)
+	model, err := TrainBagging(train, DefaultBaggingSize, TreeOptions{Kind: REPTree}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := PermutationImportance(model, test, rng)
+	if len(imp) != 2 {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	if imp[0] < 0.2 {
+		t.Errorf("informative feature importance %.3f too small", imp[0])
+	}
+	if imp[1] > 0.05 || imp[1] < -0.05 {
+		t.Errorf("noise feature importance %.3f not near zero", imp[1])
+	}
+	if imp[0] <= imp[1] {
+		t.Error("signal feature must outrank noise")
+	}
+}
+
+func TestPermutationImportanceWorksWithLogistic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := separableData(1000, rng)
+	lg, err := TrainLogistic(train, LogisticOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := PermutationImportance(lg, train, rng)
+	if imp[0] <= imp[1] {
+		t.Errorf("logistic importances %.3f vs %.3f not ordered", imp[0], imp[1])
+	}
+}
+
+func TestPermutationImportanceEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := separableData(50, rng)
+	model, err := TrainBagging(ds, 3, TreeOptions{Kind: REPTree}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PermutationImportance(model, &Dataset{}, rng) != nil {
+		t.Error("empty dataset importance should be nil")
+	}
+}

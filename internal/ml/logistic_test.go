@@ -1,0 +1,242 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogisticLearnsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := separableData(1000, rng)
+	lg, err := TrainLogistic(ds, LogisticOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range ds.X {
+		if lg.Predict(ds.X[i], 0.5) == ds.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.Len()); acc < 0.95 {
+		t.Errorf("logistic accuracy %.3f on separable data", acc)
+	}
+}
+
+func TestLogisticGeneralises(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train := noisyData(2000, 0.1, rng)
+	test := noisyData(1000, 0.0, rng)
+	lg, err := TrainLogistic(train, LogisticOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range test.X {
+		if lg.Predict(test.X[i], 0.5) == test.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(test.Len()); acc < 0.72 {
+		t.Errorf("logistic test accuracy %.3f", acc)
+	}
+}
+
+func TestLogisticHandlesUnscaledFeatures(t *testing.T) {
+	// Features on wildly different scales (as layout features are) must
+	// not break training — this is what standardisation is for.
+	rng := rand.New(rand.NewSource(3))
+	ds := &Dataset{}
+	for i := 0; i < 1000; i++ {
+		y := rng.Intn(2) == 0
+		big := rng.NormFloat64() * 1e7
+		if y {
+			big += 2e7
+		}
+		ds.Add([]float64{big, rng.Float64() * 1e-3}, y)
+	}
+	lg, err := TrainLogistic(ds, LogisticOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range ds.X {
+		if lg.Predict(ds.X[i], 0.5) == ds.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.Len()); acc < 0.8 {
+		t.Errorf("accuracy %.3f on unscaled features", acc)
+	}
+}
+
+func TestLogisticProbBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := noisyData(300, 0.2, rng)
+	lg, err := TrainLogistic(ds, LogisticOptions{Epochs: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		p := lg.Prob([]float64{a, b})
+		return p >= 0 && p <= 1 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogisticFeatureRestriction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := separableData(800, rng)
+	lg, err := TrainLogistic(ds, LogisticOptions{Features: []int{1}}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range ds.X {
+		if lg.Predict(ds.X[i], 0.5) == ds.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.Len()); acc > 0.65 {
+		t.Errorf("noise-only logistic accuracy %.3f; restriction leaked", acc)
+	}
+	feats, w := lg.Weights()
+	if len(feats) != 1 || feats[0] != 1 || len(w) != 1 {
+		t.Errorf("Weights() = %v, %v", feats, w)
+	}
+}
+
+func TestLogisticRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := TrainLogistic(&Dataset{}, LogisticOptions{}, rng); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	ds := separableData(10, rng)
+	if _, err := TrainLogistic(ds, LogisticOptions{Features: []int{7}}, rng); err == nil {
+		t.Error("out-of-range feature accepted")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if s := sigmoid(0); s != 0.5 {
+		t.Errorf("sigmoid(0) = %f", s)
+	}
+	if s := sigmoid(100); s < 0.999 {
+		t.Errorf("sigmoid(100) = %f", s)
+	}
+	if s := sigmoid(-100); s > 0.001 {
+		t.Errorf("sigmoid(-100) = %f", s)
+	}
+	// Symmetry: sigmoid(-v) = 1 - sigmoid(v).
+	for _, v := range []float64{0.5, 1, 3, 10} {
+		if d := math.Abs(sigmoid(-v) - (1 - sigmoid(v))); d > 1e-12 {
+			t.Errorf("sigmoid symmetry broken at %f: %g", v, d)
+		}
+	}
+}
+
+func TestAUCPerfectAndRandom(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.1}
+	labels := []bool{true, true, false, false}
+	if a := AUC(scores, labels); a != 1 {
+		t.Errorf("perfect AUC = %f, want 1", a)
+	}
+	inverted := []bool{false, false, true, true}
+	if a := AUC(scores, inverted); a != 0 {
+		t.Errorf("inverted AUC = %f, want 0", a)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	s := make([]float64, n)
+	y := make([]bool, n)
+	for i := range s {
+		s[i] = rng.Float64()
+		y[i] = rng.Intn(2) == 0
+	}
+	if a := AUC(s, y); a < 0.48 || a > 0.52 {
+		t.Errorf("random AUC = %f, want ~0.5", a)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores equal: AUC must be exactly 0.5 via half-credit.
+	scores := []float64{0.5, 0.5, 0.5, 0.5}
+	labels := []bool{true, false, true, false}
+	if a := AUC(scores, labels); a != 0.5 {
+		t.Errorf("tied AUC = %f, want 0.5", a)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if a := AUC(nil, nil); a != 0.5 {
+		t.Errorf("empty AUC = %f", a)
+	}
+	if a := AUC([]float64{1, 2}, []bool{true, true}); a != 0.5 {
+		t.Errorf("single-class AUC = %f", a)
+	}
+}
+
+func TestROCCurve(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.3, 0.1}
+	labels := []bool{true, true, false, false}
+	pts := ROC(scores, labels)
+	if len(pts) != 4 {
+		t.Fatalf("%d ROC points, want 4", len(pts))
+	}
+	last := pts[len(pts)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("ROC must end at (1,1), got (%f,%f)", last.FPR, last.TPR)
+	}
+	// Perfect classifier reaches TPR=1 before any FP.
+	if pts[1].TPR != 1 || pts[1].FPR != 0 {
+		t.Errorf("perfect ROC wrong: %+v", pts[1])
+	}
+	prevF, prevT := -1.0, -1.0
+	for _, p := range pts {
+		if p.FPR < prevF || p.TPR < prevT {
+			t.Fatal("ROC not monotone")
+		}
+		prevF, prevT = p.FPR, p.TPR
+	}
+}
+
+func TestROCDegenerate(t *testing.T) {
+	if ROC(nil, nil) != nil {
+		t.Error("empty ROC should be nil")
+	}
+	if ROC([]float64{1}, []bool{true}) != nil {
+		t.Error("single-class ROC should be nil")
+	}
+}
+
+func TestLogisticVsTreeOnAUC(t *testing.T) {
+	// On linearly separable data both should have near-perfect AUC.
+	rng := rand.New(rand.NewSource(8))
+	train := separableData(800, rng)
+	test := separableData(400, rng)
+	lg, err := TrainLogistic(train, LogisticOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := TrainTree(train, TreeOptions{Kind: REPTree}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sLg := make([]float64, test.Len())
+	sTr := make([]float64, test.Len())
+	for i := range test.X {
+		sLg[i] = lg.Prob(test.X[i])
+		sTr[i] = tree.Prob(test.X[i])
+	}
+	if a := AUC(sLg, test.Y); a < 0.98 {
+		t.Errorf("logistic AUC %.3f", a)
+	}
+	if a := AUC(sTr, test.Y); a < 0.95 {
+		t.Errorf("tree AUC %.3f", a)
+	}
+}

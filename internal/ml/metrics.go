@@ -1,0 +1,210 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// InfoGain returns the information gain (in nats) of a numeric feature with
+// respect to a binary label, computed over an equal-frequency
+// discretisation with the given number of bins — the approach Weka's
+// attribute evaluators take for numeric attributes. Larger is more
+// informative. bins <= 0 selects 10.
+func InfoGain(xs []float64, ys []bool, bins int) float64 {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0
+	}
+	if bins <= 0 {
+		bins = 10
+	}
+	pos := 0
+	for _, y := range ys {
+		if y {
+			pos++
+		}
+	}
+	parent := entropy2(pos, len(ys)-pos)
+	if parent == 0 {
+		return 0
+	}
+
+	order := make([]int, len(xs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+
+	var cond float64
+	n := len(order)
+	for b := 0; b < bins; b++ {
+		lo := b * n / bins
+		hi := (b + 1) * n / bins
+		if hi <= lo {
+			continue
+		}
+		// Extend the bin over ties so identical values land in one bin.
+		for hi < n && xs[order[hi]] == xs[order[hi-1]] {
+			hi++
+		}
+		if b > 0 && lo < n {
+			// Skip samples consumed by the previous bin's tie extension.
+			for lo < hi && lo > 0 && xs[order[lo-1]] == xs[order[lo]] {
+				lo++
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		bp := 0
+		for _, i := range order[lo:hi] {
+			if ys[i] {
+				bp++
+			}
+		}
+		cond += float64(hi-lo) / float64(n) * entropy2(bp, (hi-lo)-bp)
+	}
+	gain := parent - cond
+	if gain < 0 {
+		return 0
+	}
+	return gain
+}
+
+// CorrCoef returns the Pearson correlation coefficient between a numeric
+// feature and the binary label (taken as 0/1). The attack reports its
+// absolute value as a feature-importance measure.
+func CorrCoef(xs []float64, ys []bool) float64 {
+	n := float64(len(xs))
+	if n == 0 || len(xs) != len(ys) {
+		return 0
+	}
+	var sx, sy, sxx, syy, sxy float64
+	for i, x := range xs {
+		y := 0.0
+		if ys[i] {
+			y = 1
+		}
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	cov := sxy/n - (sx/n)*(sy/n)
+	vx := sxx/n - (sx/n)*(sx/n)
+	vy := syy/n - (sy/n)*(sy/n)
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// FisherRatio returns Fisher's discriminant ratio of a feature:
+// (mu1-mu2)^2 / (var1+var2), measuring how separable the two classes are
+// along this feature. Larger is more separable. A zero denominator with
+// distinct means returns +Inf; with equal means it returns 0.
+func FisherRatio(xs []float64, ys []bool) float64 {
+	var n1, n2 float64
+	var s1, s2 float64
+	for i, x := range xs {
+		if ys[i] {
+			n1++
+			s1 += x
+		} else {
+			n2++
+			s2 += x
+		}
+	}
+	if n1 == 0 || n2 == 0 {
+		return 0
+	}
+	m1, m2 := s1/n1, s2/n2
+	var v1, v2 float64
+	for i, x := range xs {
+		if ys[i] {
+			v1 += (x - m1) * (x - m1)
+		} else {
+			v2 += (x - m2) * (x - m2)
+		}
+	}
+	v1 /= n1
+	v2 /= n2
+	num := (m1 - m2) * (m1 - m2)
+	if v1+v2 == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return num / (v1 + v2)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of values using the
+// nearest-rank method on a sorted copy. The attack's neighborhood is the
+// 0.9-quantile of the matched-pair ManhattanVpin distribution (paper
+// §III-D, Fig. 4).
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// Histogram bins values into n equal-width bins over [min, max] and returns
+// the bin counts plus the bin edges. Used to reproduce the paper's Fig. 8
+// feature-distribution plots.
+func Histogram(values []float64, n int) (counts []int, edges []float64) {
+	if len(values) == 0 || n <= 0 {
+		return nil, nil
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	counts = make([]int, n)
+	edges = make([]float64, n+1)
+	width := (hi - lo) / float64(n)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	if width == 0 {
+		counts[0] = len(values)
+		return counts, edges
+	}
+	for _, v := range values {
+		b := int((v - lo) / width)
+		if b >= n {
+			b = n - 1
+		}
+		counts[b]++
+	}
+	return counts, edges
+}
+
+// CDF returns, for each of the given probe fractions q in [0,1], the value
+// below which a q fraction of the data lies — i.e. points on the empirical
+// CDF, as plotted in the paper's Fig. 4.
+func CDF(values []float64, probes []float64) []float64 {
+	out := make([]float64, len(probes))
+	for i, q := range probes {
+		out[i] = Quantile(values, q)
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInfoGainPerfectVsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	perfect := make([]float64, n)
+	noise := make([]float64, n)
+	ys := make([]bool, n)
+	for i := 0; i < n; i++ {
+		ys[i] = rng.Intn(2) == 0
+		if ys[i] {
+			perfect[i] = 1 + rng.Float64()
+		} else {
+			perfect[i] = rng.Float64()
+		}
+		noise[i] = rng.Float64()
+	}
+	gp := InfoGain(perfect, ys, 10)
+	gn := InfoGain(noise, ys, 10)
+	if gp < 0.5 {
+		t.Errorf("perfect feature gain %.3f too small (max ~0.693)", gp)
+	}
+	if gn > 0.05 {
+		t.Errorf("noise feature gain %.3f too large", gn)
+	}
+	if gp <= gn {
+		t.Error("perfect feature must outrank noise")
+	}
+}
+
+func TestInfoGainDegenerate(t *testing.T) {
+	if g := InfoGain(nil, nil, 10); g != 0 {
+		t.Errorf("empty gain = %f", g)
+	}
+	// Single-class labels carry no entropy to reduce.
+	xs := []float64{1, 2, 3}
+	ys := []bool{true, true, true}
+	if g := InfoGain(xs, ys, 10); g != 0 {
+		t.Errorf("single-class gain = %f", g)
+	}
+	// Constant feature gains nothing.
+	xs2 := []float64{5, 5, 5, 5}
+	ys2 := []bool{true, false, true, false}
+	if g := InfoGain(xs2, ys2, 10); g > 1e-9 {
+		t.Errorf("constant feature gain = %f", g)
+	}
+}
+
+func TestInfoGainNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(200)
+		xs := make([]float64, n)
+		ys := make([]bool, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.Intn(2) == 0
+		}
+		return InfoGain(xs, ys, 10) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCorrCoefLinear(t *testing.T) {
+	// Feature exactly equal to the label (as 0/1) has correlation 1.
+	xs := []float64{0, 1, 0, 1, 0, 1}
+	ys := []bool{false, true, false, true, false, true}
+	if c := CorrCoef(xs, ys); math.Abs(c-1) > 1e-12 {
+		t.Errorf("correlation = %f, want 1", c)
+	}
+	// Inverted feature has correlation -1.
+	inv := []float64{1, 0, 1, 0, 1, 0}
+	if c := CorrCoef(inv, ys); math.Abs(c+1) > 1e-12 {
+		t.Errorf("correlation = %f, want -1", c)
+	}
+}
+
+func TestCorrCoefIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 5000
+	xs := make([]float64, n)
+	ys := make([]bool, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		ys[i] = rng.Intn(2) == 0
+	}
+	if c := math.Abs(CorrCoef(xs, ys)); c > 0.06 {
+		t.Errorf("independent correlation = %f", c)
+	}
+}
+
+func TestCorrCoefDegenerate(t *testing.T) {
+	if c := CorrCoef(nil, nil); c != 0 {
+		t.Errorf("empty correlation = %f", c)
+	}
+	if c := CorrCoef([]float64{3, 3, 3}, []bool{true, false, true}); c != 0 {
+		t.Errorf("constant-feature correlation = %f", c)
+	}
+}
+
+func TestCorrCoefBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		xs := make([]float64, n)
+		ys := make([]bool, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			ys[i] = rng.Intn(2) == 0
+		}
+		c := CorrCoef(xs, ys)
+		return c >= -1.0000001 && c <= 1.0000001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFisherRatioSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 2000
+	far := make([]float64, n)
+	near := make([]float64, n)
+	ys := make([]bool, n)
+	for i := 0; i < n; i++ {
+		ys[i] = rng.Intn(2) == 0
+		mu := 0.0
+		if ys[i] {
+			mu = 10
+		}
+		far[i] = mu + rng.NormFloat64()
+		near[i] = mu/20 + rng.NormFloat64()
+	}
+	ff := FisherRatio(far, ys)
+	fn := FisherRatio(near, ys)
+	if ff < 10 {
+		t.Errorf("well-separated Fisher ratio %.2f too small", ff)
+	}
+	if fn > 1 {
+		t.Errorf("overlapping Fisher ratio %.2f too large", fn)
+	}
+	if ff <= fn {
+		t.Error("separated feature must outrank overlapping feature")
+	}
+}
+
+func TestFisherRatioDegenerate(t *testing.T) {
+	ys := []bool{true, true, false, false}
+	if f := FisherRatio([]float64{1, 1, 1, 1}, ys); f != 0 {
+		t.Errorf("constant feature Fisher = %f, want 0", f)
+	}
+	if f := FisherRatio([]float64{2, 2, 1, 1}, ys); !math.IsInf(f, 1) {
+		t.Errorf("zero-variance separated Fisher = %f, want +Inf", f)
+	}
+	if f := FisherRatio([]float64{1, 2}, []bool{true, true}); f != 0 {
+		t.Errorf("single-class Fisher = %f, want 0", f)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.4, 2}, {0.6, 3}, {0.8, 4}, {0.9, 5}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(vals, c.q); got != c.want {
+			t.Errorf("Quantile(%.1f) = %f, want %f", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	vals := []float64{3, 1, 2}
+	Quantile(vals, 0.5)
+	if !sort.Float64sAreSorted(vals) && (vals[0] != 3 || vals[1] != 1 || vals[2] != 2) {
+		t.Error("Quantile mutated its input")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(vals, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	counts, edges := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	if len(counts) != 5 || len(edges) != 6 {
+		t.Fatalf("histogram shape %d/%d", len(counts), len(edges))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram total %d, want 10", total)
+	}
+	if edges[0] != 0 || edges[5] != 9 {
+		t.Errorf("edges [%f, %f], want [0, 9]", edges[0], edges[5])
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	counts, _ := Histogram([]float64{7, 7, 7}, 4)
+	if counts[0] != 3 {
+		t.Errorf("constant histogram counts = %v", counts)
+	}
+	if c, e := Histogram(nil, 3); c != nil || e != nil {
+		t.Error("empty histogram should be nil")
+	}
+}
+
+func TestCDFMatchesQuantiles(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	probes := []float64{0.1, 0.5, 0.9}
+	out := CDF(vals, probes)
+	for i, q := range probes {
+		if out[i] != Quantile(vals, q) {
+			t.Errorf("CDF[%d] = %f, want %f", i, out[i], Quantile(vals, q))
+		}
+	}
+}

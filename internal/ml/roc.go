@@ -1,0 +1,94 @@
+package ml
+
+import "sort"
+
+// AUC computes the area under the ROC curve from scores and binary labels
+// using the rank statistic (equivalent to the Mann-Whitney U), with the
+// standard half-credit handling of tied scores. It returns 0.5 when either
+// class is absent. The experiment harness uses AUC as a
+// threshold-independent quality summary of a classifier over v-pin pairs.
+func AUC(scores []float64, labels []bool) float64 {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return 0.5
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	// Assign average ranks to ties (1-based ranks).
+	ranks := make([]float64, len(scores))
+	for i := 0; i < len(idx); {
+		j := i
+		for j < len(idx) && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // mean of ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j
+	}
+
+	var posRankSum float64
+	var nPos, nNeg float64
+	for i, y := range labels {
+		if y {
+			posRankSum += ranks[i]
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	u := posRankSum - nPos*(nPos+1)/2
+	return u / (nPos * nNeg)
+}
+
+// ROCPoint is one (false-positive rate, true-positive rate) sample.
+type ROCPoint struct {
+	FPR, TPR  float64
+	Threshold float64
+}
+
+// ROC returns the ROC curve of the scores at every distinct threshold,
+// from the most permissive (FPR=TPR=1) to the strictest (0, 0).
+func ROC(scores []float64, labels []bool) []ROCPoint {
+	if len(scores) != len(labels) || len(scores) == 0 {
+		return nil
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var nPos, nNeg float64
+	for _, y := range labels {
+		if y {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil
+	}
+	var pts []ROCPoint
+	tp, fp := 0.0, 0.0
+	for i := 0; i < len(idx); {
+		thr := scores[idx[i]]
+		for i < len(idx) && scores[idx[i]] == thr {
+			if labels[idx[i]] {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		pts = append(pts, ROCPoint{FPR: fp / nNeg, TPR: tp / nPos, Threshold: thr})
+	}
+	return pts
+}

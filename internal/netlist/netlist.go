@@ -1,0 +1,117 @@
+// Package netlist models gate-level netlists: cell instances from a
+// standard-cell library connected by multi-fanout nets, plus the random
+// netlist generator used to synthesise benchmark designs.
+//
+// A net always has exactly one driver (an output pin) and one or more sinks
+// (input pins). This single-driver invariant is what makes certain v-pin
+// pairs electrically illegal in the attack: two route fragments that both
+// end in output pins can never belong to the same net.
+package netlist
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+)
+
+// Cell is an instance of a library kind.
+type Cell struct {
+	ID   int
+	Name string
+	Kind *cell.Kind
+}
+
+// PinRef identifies one pin of one cell instance: Pin indexes into
+// Cell.Kind.Pins.
+type PinRef struct {
+	Cell int
+	Pin  int
+}
+
+// Net is a single-driver, multi-sink connection.
+type Net struct {
+	ID     int
+	Name   string
+	Driver PinRef
+	Sinks  []PinRef
+}
+
+// Fanout returns the number of sinks.
+func (n *Net) Fanout() int { return len(n.Sinks) }
+
+// Pins returns the driver followed by all sinks.
+func (n *Net) Pins() []PinRef {
+	out := make([]PinRef, 0, 1+len(n.Sinks))
+	out = append(out, n.Driver)
+	return append(out, n.Sinks...)
+}
+
+// Netlist is a set of cells and the nets connecting them.
+type Netlist struct {
+	Lib   *cell.Library
+	Cells []Cell
+	Nets  []Net
+}
+
+// Kind returns the library kind of the cell with the given ID.
+func (nl *Netlist) Kind(cellID int) *cell.Kind { return nl.Cells[cellID].Kind }
+
+// PinDef resolves a PinRef to its library pin definition.
+func (nl *Netlist) PinDef(r PinRef) cell.PinDef {
+	return nl.Cells[r.Cell].Kind.Pins[r.Pin]
+}
+
+// Validate checks structural invariants: pin references in range, drivers on
+// output pins, sinks on input pins, and no sink driven twice. It returns the
+// first violation found.
+func (nl *Netlist) Validate() error {
+	if nl.Lib == nil {
+		return fmt.Errorf("netlist: nil library")
+	}
+	for i, c := range nl.Cells {
+		if c.ID != i {
+			return fmt.Errorf("netlist: cell %d has ID %d", i, c.ID)
+		}
+		if c.Kind == nil {
+			return fmt.Errorf("netlist: cell %d has nil kind", i)
+		}
+	}
+	sinkSeen := make(map[PinRef]int)
+	for i, n := range nl.Nets {
+		if n.ID != i {
+			return fmt.Errorf("netlist: net %d has ID %d", i, n.ID)
+		}
+		if err := nl.checkRef(n.Driver); err != nil {
+			return fmt.Errorf("netlist: net %d driver: %w", i, err)
+		}
+		if nl.PinDef(n.Driver).Dir != cell.Output {
+			return fmt.Errorf("netlist: net %d driven by non-output pin", i)
+		}
+		if len(n.Sinks) == 0 {
+			return fmt.Errorf("netlist: net %d has no sinks", i)
+		}
+		for _, s := range n.Sinks {
+			if err := nl.checkRef(s); err != nil {
+				return fmt.Errorf("netlist: net %d sink: %w", i, err)
+			}
+			if nl.PinDef(s).Dir != cell.Input {
+				return fmt.Errorf("netlist: net %d has non-input sink", i)
+			}
+			if prev, dup := sinkSeen[s]; dup {
+				return fmt.Errorf("netlist: pin %+v driven by nets %d and %d", s, prev, i)
+			}
+			sinkSeen[s] = i
+		}
+	}
+	return nil
+}
+
+func (nl *Netlist) checkRef(r PinRef) error {
+	if r.Cell < 0 || r.Cell >= len(nl.Cells) {
+		return fmt.Errorf("cell index %d out of range", r.Cell)
+	}
+	if r.Pin < 0 || r.Pin >= len(nl.Cells[r.Cell].Kind.Pins) {
+		return fmt.Errorf("pin index %d out of range for kind %s", r.Pin, nl.Cells[r.Cell].Kind.Name)
+	}
+	return nil
+}

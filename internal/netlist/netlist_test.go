@@ -1,0 +1,282 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/geom"
+)
+
+func testCells(t *testing.T, n int, rng *rand.Rand) ([]Cell, *cell.Library) {
+	t.Helper()
+	lib := cell.DefaultLibrary()
+	cells, err := GenerateCells(lib, CellMixConfig{NumCells: n, NumMacros: 2, SeqFraction: 0.15}, rng)
+	if err != nil {
+		t.Fatalf("GenerateCells: %v", err)
+	}
+	return cells, lib
+}
+
+// uniformPositions scatters cells deterministically for tests that need a
+// position function without a full placement.
+func uniformPositions(cells []Cell, die geom.Rect, rng *rand.Rand) func(int) geom.Point {
+	pos := make([]geom.Point, len(cells))
+	for i := range pos {
+		pos[i] = geom.Pt(
+			die.Lo.X+geom.Coord(rng.Int63n(int64(die.Width())+1)),
+			die.Lo.Y+geom.Coord(rng.Int63n(int64(die.Height())+1)),
+		)
+	}
+	return func(id int) geom.Point { return pos[id] }
+}
+
+func TestGenerateCellsCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cells, _ := testCells(t, 500, rng)
+	if len(cells) != 502 {
+		t.Fatalf("got %d cells, want 502 (500 std + 2 macros)", len(cells))
+	}
+	macros := 0
+	for _, c := range cells {
+		if c.Kind.Macro {
+			macros++
+		}
+	}
+	if macros != 2 {
+		t.Errorf("got %d macros, want 2", macros)
+	}
+}
+
+func TestGenerateCellsIDsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cells, _ := testCells(t, 100, rng)
+	for i, c := range cells {
+		if c.ID != i {
+			t.Fatalf("cell %d has ID %d", i, c.ID)
+		}
+	}
+}
+
+func TestGenerateCellsSeqFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lib := cell.DefaultLibrary()
+	cells, err := GenerateCells(lib, CellMixConfig{NumCells: 2000, SeqFraction: 0.25}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs := 0
+	for _, c := range cells {
+		if c.Kind.Name[:3] == "DFF" {
+			ffs++
+		}
+	}
+	frac := float64(ffs) / 2000
+	if frac < 0.18 || frac > 0.32 {
+		t.Errorf("flip-flop fraction %.3f outside [0.18, 0.32]", frac)
+	}
+}
+
+func TestGenerateCellsRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lib := cell.DefaultLibrary()
+	if _, err := GenerateCells(lib, CellMixConfig{NumCells: 0}, rng); err == nil {
+		t.Error("want error for NumCells=0")
+	}
+}
+
+func defaultNetCfg(n int) NetGenConfig {
+	return NetGenConfig{
+		NumNets:       n,
+		FanoutWeights: DefaultFanoutWeights(),
+		Classes: []ReachClass{
+			{Frac: 0.6, MeanReach: 500},
+			{Frac: 0.3, MeanReach: 2000},
+			{Frac: 0.1, MeanReach: 6000},
+		},
+	}
+}
+
+func TestGenerateNetsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	die := geom.R(0, 0, 20000, 20000)
+	cells, lib := testCells(t, 800, rng)
+	pos := uniformPositions(cells, die, rng)
+	nets, err := GenerateNets(cells, pos, die, defaultNetCfg(600), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nets) < 500 {
+		t.Fatalf("only %d nets generated, want >= 500", len(nets))
+	}
+	nl := &Netlist{Lib: lib, Cells: cells, Nets: nets}
+	if err := nl.Validate(); err != nil {
+		t.Fatalf("generated netlist invalid: %v", err)
+	}
+}
+
+func TestGenerateNetsSingleDriverInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	die := geom.R(0, 0, 10000, 10000)
+	cells, _ := testCells(t, 400, rng)
+	pos := uniformPositions(cells, die, rng)
+	nets, err := GenerateNets(cells, pos, die, defaultNetCfg(300), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usedOut := map[PinRef]bool{}
+	usedIn := map[PinRef]bool{}
+	for _, n := range nets {
+		if usedOut[n.Driver] {
+			t.Fatalf("output pin %+v drives two nets", n.Driver)
+		}
+		usedOut[n.Driver] = true
+		for _, s := range n.Sinks {
+			if usedIn[s] {
+				t.Fatalf("input pin %+v driven twice", s)
+			}
+			usedIn[s] = true
+		}
+	}
+}
+
+func TestGenerateNetsLocality(t *testing.T) {
+	// With a short mean reach, generated nets must be much shorter on
+	// average than random pairs would be.
+	rng := rand.New(rand.NewSource(7))
+	die := geom.R(0, 0, 40000, 40000)
+	cells, _ := testCells(t, 2000, rng)
+	pos := uniformPositions(cells, die, rng)
+	cfg := NetGenConfig{
+		NumNets: 800,
+		Classes: []ReachClass{{Frac: 1.0, MeanReach: 800}},
+	}
+	nets, err := GenerateNets(cells, pos, die, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, count float64
+	for _, n := range nets {
+		d := pos(n.Driver.Cell)
+		for _, s := range n.Sinks {
+			sum += float64(d.Manhattan(pos(s.Cell)))
+			count++
+		}
+	}
+	mean := sum / count
+	// Random pairs on a 40000x40000 die average ~26000 apart; generated
+	// local nets must be far below that.
+	if mean > 6000 {
+		t.Errorf("mean net span %.0f too large for MeanReach 800", mean)
+	}
+}
+
+func TestGenerateNetsFanoutDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	die := geom.R(0, 0, 30000, 30000)
+	cells, _ := testCells(t, 3000, rng)
+	pos := uniformPositions(cells, die, rng)
+	nets, err := GenerateNets(cells, pos, die, defaultNetCfg(1500), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	for _, n := range nets {
+		if n.Fanout() == 1 {
+			ones++
+		}
+		if n.Fanout() > len(DefaultFanoutWeights()) {
+			t.Fatalf("net %d fanout %d exceeds configured maximum", n.ID, n.Fanout())
+		}
+	}
+	frac := float64(ones) / float64(len(nets))
+	if frac < 0.35 || frac > 0.75 {
+		t.Errorf("fanout-1 fraction %.2f outside [0.35, 0.75]", frac)
+	}
+}
+
+func TestGenerateNetsDeterministicWithSeed(t *testing.T) {
+	die := geom.R(0, 0, 10000, 10000)
+	run := func() []Net {
+		rng := rand.New(rand.NewSource(42))
+		cells, _ := testCells(t, 300, rng)
+		pos := uniformPositions(cells, die, rng)
+		nets, err := GenerateNets(cells, pos, die, defaultNetCfg(200), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nets
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in net count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Driver != b[i].Driver || len(a[i].Sinks) != len(b[i].Sinks) {
+			t.Fatalf("net %d differs between identical-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateNetsRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	die := geom.R(0, 0, 1000, 1000)
+	cells, _ := testCells(t, 10, rng)
+	pos := uniformPositions(cells, die, rng)
+	if _, err := GenerateNets(cells, pos, die, NetGenConfig{NumNets: 0}, rng); err == nil {
+		t.Error("want error for NumNets=0")
+	}
+	if _, err := GenerateNets(cells, pos, die, NetGenConfig{NumNets: 5}, rng); err == nil {
+		t.Error("want error for missing reach classes")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	die := geom.R(0, 0, 10000, 10000)
+	cells, lib := testCells(t, 200, rng)
+	pos := uniformPositions(cells, die, rng)
+	nets, err := GenerateNets(cells, pos, die, defaultNetCfg(100), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := &Netlist{Lib: lib, Cells: cells, Nets: nets}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("baseline invalid: %v", err)
+	}
+
+	corrupt := func(mut func(nl *Netlist)) error {
+		cp := &Netlist{Lib: lib, Cells: cells, Nets: append([]Net(nil), nets...)}
+		// Deep-copy sinks of net 0 so mutations do not leak.
+		cp.Nets[0].Sinks = append([]PinRef(nil), nets[0].Sinks...)
+		mut(cp)
+		return cp.Validate()
+	}
+
+	if err := corrupt(func(nl *Netlist) { nl.Nets[0].Driver.Cell = -1 }); err == nil {
+		t.Error("negative cell index not caught")
+	}
+	if err := corrupt(func(nl *Netlist) { nl.Nets[0].Driver.Cell = len(cells) }); err == nil {
+		t.Error("out-of-range cell index not caught")
+	}
+	if err := corrupt(func(nl *Netlist) { nl.Nets[0].Sinks = nil }); err == nil {
+		t.Error("sink-less net not caught")
+	}
+	if err := corrupt(func(nl *Netlist) { nl.Nets[0].Driver = nl.Nets[0].Sinks[0] }); err == nil {
+		t.Error("input-pin driver not caught")
+	}
+	if err := corrupt(func(nl *Netlist) { nl.Nets[0].ID = 99 }); err == nil {
+		t.Error("bad net ID not caught")
+	}
+}
+
+func TestNetPins(t *testing.T) {
+	n := Net{Driver: PinRef{1, 0}, Sinks: []PinRef{{2, 0}, {3, 1}}}
+	pins := n.Pins()
+	if len(pins) != 3 || pins[0] != n.Driver || pins[2] != n.Sinks[1] {
+		t.Errorf("Pins() = %+v", pins)
+	}
+	if n.Fanout() != 2 {
+		t.Errorf("Fanout = %d, want 2", n.Fanout())
+	}
+}

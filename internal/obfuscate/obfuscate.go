@@ -1,0 +1,229 @@
+// Package obfuscate implements defender-side countermeasures against the
+// machine-learning attack, at the layout level rather than as an abstract
+// perturbation of the challenge:
+//
+//   - PerturbRoutes re-routes cut nets with amplified escape jitter and
+//     detours — the "increase congestion so the router is forced onto less
+//     straightforward routes" defence of the paper's §III-I, realised as an
+//     actual re-route (cf. routing perturbation [14]).
+//   - LiftNets promotes a fraction of shorter nets to higher trunk layers
+//     ("wire lifting" [8]): the split then cuts more nets, diluting the
+//     v-pin population and forcing the attacker to solve a larger problem.
+//
+// Every transform returns a new Design sharing the netlist and placement —
+// only the routing differs — plus a Cost describing the overhead the
+// defender pays.
+package obfuscate
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/layout"
+	"repro/internal/route"
+)
+
+// Cost quantifies what a defence costs the design.
+type Cost struct {
+	// ReroutedNets is the number of nets whose routing changed.
+	ReroutedNets int
+	// WirelengthBefore/After are total routed wirelengths.
+	WirelengthBefore, WirelengthAfter int64
+}
+
+// Overhead returns the relative wirelength increase.
+func (c Cost) Overhead() float64 {
+	if c.WirelengthBefore == 0 {
+		return 0
+	}
+	return float64(c.WirelengthAfter-c.WirelengthBefore) / float64(c.WirelengthBefore)
+}
+
+// PerturbRoutes re-routes every net whose trunk rises above the given split
+// layer, with escape jitter scaled by jitterFactor and maximum detour
+// probability. The trunk layers are unchanged, so the v-pin population
+// stays the same size while every v-pin moves — the layout-level
+// counterpart of the paper's Gaussian v-pin noise.
+func PerturbRoutes(d *layout.Design, splitLayer int, jitterFactor float64, seed int64) (*layout.Design, Cost, error) {
+	if jitterFactor <= 0 {
+		return nil, Cost{}, fmt.Errorf("obfuscate: jitter factor must be positive, got %g", jitterFactor)
+	}
+	assign := map[int]int{}
+	for i := range d.Routing.Routes {
+		if d.Routing.Routes[i].TrunkLayer > splitLayer {
+			assign[i] = d.Routing.Routes[i].TrunkLayer
+		}
+	}
+	cfg := d.Routing.Cfg
+	cfg.EscapeJitter *= jitterFactor
+	cfg.DetourProb = 1.0
+	return apply(d, assign, cfg, seed)
+}
+
+// LiftNets promotes up to frac of the nets with trunks in
+// [fromLo, fromHi] by `up` layers (clamped to the top metal layer) and
+// re-routes them. After lifting, a split immediately above fromHi cuts the
+// lifted nets too.
+func LiftNets(d *layout.Design, fromLo, fromHi, up int, frac float64, seed int64) (*layout.Design, Cost, error) {
+	if fromLo < 2 || fromHi < fromLo || fromHi > route.NumMetal {
+		return nil, Cost{}, fmt.Errorf("obfuscate: invalid lift range [%d, %d]", fromLo, fromHi)
+	}
+	if up <= 0 {
+		return nil, Cost{}, fmt.Errorf("obfuscate: lift distance must be positive, got %d", up)
+	}
+	if frac <= 0 || frac > 1 {
+		return nil, Cost{}, fmt.Errorf("obfuscate: lift fraction %g outside (0, 1]", frac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	assign := map[int]int{}
+	for i := range d.Routing.Routes {
+		t := d.Routing.Routes[i].TrunkLayer
+		if t >= fromLo && t <= fromHi && rng.Float64() < frac {
+			nt := t + up
+			if nt > route.NumMetal {
+				nt = route.NumMetal
+			}
+			assign[i] = nt
+		}
+	}
+	return apply(d, assign, d.Routing.Cfg, seed+1)
+}
+
+// JogTrunks breaks the track-sharing invariant that makes splits directly
+// below a trunk layer so leaky: for nets whose trunk sits exactly one
+// metal above the split, the two v-pins are the trunk wire's endpoints and
+// share its track coordinate exactly (DiffVpinY = 0 for a horizontal
+// trunk). A short wrong-way jog *on the trunk layer itself* — legal,
+// manufacturable detailed routing — displaces the sink-side endpoint by up
+// to maxJogTracks track pitches, so matching v-pins no longer align. The
+// jog is above the split and invisible to the attacker; only the moved
+// v-pin and the slightly longer feeder are observable.
+//
+// This is the defence the attack's own feature ranking suggests: Gaussian
+// v-pin noise (paper §III-I) is not manufacturable, and track-snapped
+// re-routing leaves the alignment invariant intact (see PerturbRoutes);
+// jogs attack the invariant directly at near-zero wirelength cost.
+func JogTrunks(d *layout.Design, splitLayer int, maxJogTracks int, frac float64, seed int64) (*layout.Design, Cost, error) {
+	if maxJogTracks <= 0 {
+		return nil, Cost{}, fmt.Errorf("obfuscate: jog distance must be positive, got %d", maxJogTracks)
+	}
+	if frac <= 0 || frac > 1 {
+		return nil, Cost{}, fmt.Errorf("obfuscate: jog fraction %g outside (0, 1]", frac)
+	}
+	trunk := splitLayer + 1
+	if trunk > route.NumMetal {
+		return nil, Cost{}, fmt.Errorf("obfuscate: no metal above split layer %d", splitLayer)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	die := d.Die()
+
+	cost := Cost{WirelengthBefore: d.Routing.TotalWirelength()}
+	routing := &route.Routing{
+		Die:    d.Routing.Die,
+		Routes: append([]route.Route(nil), d.Routing.Routes...),
+		Demand: d.Routing.Demand,
+		Cfg:    d.Routing.Cfg,
+	}
+	pitch := route.TrackPitch(trunk)
+	for i := range routing.Routes {
+		if routing.Routes[i].TrunkLayer != trunk || rng.Float64() >= frac {
+			continue
+		}
+		if jogRoute(&routing.Routes[i], trunk, pitch, maxJogTracks, die, rng) {
+			cost.ReroutedNets++
+		}
+	}
+	cost.WirelengthAfter = routing.TotalWirelength()
+	return &layout.Design{
+		Name:      d.Name,
+		Netlist:   d.Netlist,
+		Placement: d.Placement,
+		Routing:   routing,
+	}, cost, nil
+}
+
+// jogRoute displaces the sink-side trunk endpoint of rt by a wrong-way jog
+// on the trunk layer. It rewrites the route's geometry copy-on-write and
+// reports whether a jog was applied.
+func jogRoute(rt *route.Route, trunk int, pitch geom.Coord, maxJog int, die geom.Rect, rng *rand.Rand) bool {
+	k := geom.Coord(1 + rng.Intn(maxJog))
+	if rng.Intn(2) == 0 {
+		k = -k
+	}
+	delta := k * pitch
+
+	oldB := rt.TrunkB
+	var newB geom.Point
+	horizontal := route.LayerDir(trunk) == route.Horizontal
+	if horizontal {
+		newB = geom.Pt(oldB.X, oldB.Y+delta)
+	} else {
+		newB = geom.Pt(oldB.X+delta, oldB.Y)
+	}
+	if !newB.In(die) {
+		return false
+	}
+
+	// Copy-on-write the geometry slices.
+	segs := append([]route.Segment(nil), rt.Segments...)
+	vias := append([]route.Via(nil), rt.Vias...)
+
+	// Rebuild the sink feeder (layer trunk-1, side sink, endpoint oldB) to
+	// start from newB, and move the trunk-end via.
+	feeder := trunk - 1
+	kept := segs[:0]
+	for _, s := range segs {
+		if s.Layer == feeder && s.Side == route.SinkSide && (s.A == oldB || s.B == oldB) {
+			continue // old feeder; re-added below
+		}
+		kept = append(kept, s)
+	}
+	segs = kept
+	if newB != rt.SinkEscape {
+		a, b := newB, rt.SinkEscape
+		if a.X > b.X || a.Y > b.Y {
+			a, b = b, a
+		}
+		segs = append(segs, route.Segment{Layer: feeder, A: a, B: b, Side: route.SinkSide})
+	}
+	// The jog itself: a wrong-way wire on the trunk layer from the old
+	// endpoint to the new one (above the split, invisible to the FEOL).
+	ja, jb := oldB, newB
+	if ja.X > jb.X || ja.Y > jb.Y {
+		ja, jb = jb, ja
+	}
+	segs = append(segs, route.Segment{Layer: trunk, A: ja, B: jb, Side: route.SinkSide})
+
+	for i := range vias {
+		if vias[i].Layer == trunk-1 && vias[i].Side == route.SinkSide && vias[i].At == oldB {
+			vias[i].At = newB
+		}
+	}
+
+	rt.Segments = segs
+	rt.Vias = vias
+	rt.TrunkB = newB
+	return true
+}
+
+// apply re-routes the assigned nets and assembles the obfuscated design.
+func apply(d *layout.Design, assign map[int]int, cfg route.Config, seed int64) (*layout.Design, Cost, error) {
+	cost := Cost{
+		ReroutedNets:     len(assign),
+		WirelengthBefore: d.Routing.TotalWirelength(),
+	}
+	rng := rand.New(rand.NewSource(seed))
+	routing, err := d.Routing.Reroute(d.Netlist, d.Placement, assign, cfg, rng)
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	cost.WirelengthAfter = routing.TotalWirelength()
+	nd := &layout.Design{
+		Name:      d.Name,
+		Netlist:   d.Netlist,
+		Placement: d.Placement,
+		Routing:   routing,
+	}
+	return nd, cost, nil
+}

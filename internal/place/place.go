@@ -1,0 +1,359 @@
+// Package place produces legal row-based placements for generated netlists:
+// standard cells snapped into rows and sites, macros packed into the die
+// corners, and an overall clustered density profile so different regions of
+// the die exhibit different placement congestion.
+package place
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Placement maps each cell ID to its placed origin (lower-left corner).
+type Placement struct {
+	Die     geom.Rect
+	Origins []geom.Point
+}
+
+// Origin returns the placed origin of the given cell.
+func (p *Placement) Origin(cellID int) geom.Point { return p.Origins[cellID] }
+
+// PinLocation returns the absolute location of a pin: cell origin plus the
+// library pin offset. Physical pins live on metal 1; this is the (px, py)
+// the attack's placement-level features are measured from.
+func (p *Placement) PinLocation(nl *netlist.Netlist, r netlist.PinRef) geom.Point {
+	return p.Origins[r.Cell].Add(nl.PinDef(r).Offset)
+}
+
+// Config controls the placer.
+type Config struct {
+	// Die is the placement region.
+	Die geom.Rect
+	// Clusters is the number of density hot spots. Cells are attracted to
+	// cluster centres before legalisation, creating the uneven pin-density
+	// profile that makes the PC feature informative.
+	Clusters int
+	// ClusterTightness in (0,1]: 1 packs cells hard onto cluster centres,
+	// small values approach a uniform spread.
+	ClusterTightness float64
+	// UtilisationTarget caps row fill; generation fails if cells do not fit.
+	UtilisationTarget float64
+}
+
+// Place legalises the cells of nl into rows inside cfg.Die. Macros are
+// placed first along the die edges; standard cells are scattered around
+// cluster centres and then snapped to free sites row by row.
+func Place(nl *netlist.Netlist, cfg Config, rng *rand.Rand) (*Placement, error) {
+	if cfg.Die.Width() <= 0 || cfg.Die.Height() <= 0 {
+		return nil, fmt.Errorf("place: empty die %v", cfg.Die)
+	}
+	if cfg.Clusters <= 0 {
+		cfg.Clusters = 1
+	}
+	if cfg.ClusterTightness <= 0 || cfg.ClusterTightness > 1 {
+		cfg.ClusterTightness = 0.5
+	}
+	if cfg.UtilisationTarget <= 0 || cfg.UtilisationTarget > 1 {
+		cfg.UtilisationTarget = 0.85
+	}
+
+	// Capacity check.
+	var cellArea float64
+	for _, c := range nl.Cells {
+		cellArea += c.Kind.Area()
+	}
+	dieArea := float64(cfg.Die.Area())
+	if cellArea > dieArea*cfg.UtilisationTarget {
+		return nil, fmt.Errorf("place: utilisation %.2f exceeds target %.2f",
+			cellArea/dieArea, cfg.UtilisationTarget)
+	}
+
+	pl := &Placement{Die: cfg.Die, Origins: make([]geom.Point, len(nl.Cells))}
+
+	// Macros first: left and right edges, stacked bottom-up with a margin.
+	var macros, std []int
+	for _, c := range nl.Cells {
+		if c.Kind.Macro {
+			macros = append(macros, c.ID)
+		} else {
+			std = append(std, c.ID)
+		}
+	}
+	blocked := placeMacros(nl, pl, macros)
+
+	// Cluster centres.
+	centers := make([]geom.Point, cfg.Clusters)
+	for i := range centers {
+		centers[i] = geom.Pt(
+			cfg.Die.Lo.X+geom.Coord(rng.Int63n(int64(cfg.Die.Width())+1)),
+			cfg.Die.Lo.Y+geom.Coord(rng.Int63n(int64(cfg.Die.Height())+1)),
+		)
+	}
+
+	// Desired (illegal) positions: a mixture of cluster-Gaussian and
+	// uniform placement.
+	type want struct {
+		id int
+		p  geom.Point
+	}
+	wants := make([]want, 0, len(std))
+	sigmaX := float64(cfg.Die.Width()) * (1.05 - cfg.ClusterTightness) / 3
+	sigmaY := float64(cfg.Die.Height()) * (1.05 - cfg.ClusterTightness) / 3
+	for _, id := range std {
+		var p geom.Point
+		if rng.Float64() < 0.75 {
+			c := centers[rng.Intn(len(centers))]
+			p = geom.Pt(
+				c.X+geom.Coord(rng.NormFloat64()*sigmaX),
+				c.Y+geom.Coord(rng.NormFloat64()*sigmaY),
+			)
+		} else {
+			p = geom.Pt(
+				cfg.Die.Lo.X+geom.Coord(rng.Int63n(int64(cfg.Die.Width())+1)),
+				cfg.Die.Lo.Y+geom.Coord(rng.Int63n(int64(cfg.Die.Height())+1)),
+			)
+		}
+		wants = append(wants, want{id: id, p: cfg.Die.ClampPoint(p)})
+	}
+
+	// Legalise: assign each cell to the row nearest its desired y, then
+	// pack rows left-to-right in desired-x order, skipping macro blockages.
+	rows := int(cfg.Die.Height() / cell.RowHeight)
+	if rows == 0 {
+		return nil, fmt.Errorf("place: die shorter than one row")
+	}
+	rowOf := func(y geom.Coord) int {
+		r := int((y - cfg.Die.Lo.Y) / cell.RowHeight)
+		if r < 0 {
+			r = 0
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		return r
+	}
+	perRow := make([][]want, rows)
+	for _, w := range wants {
+		r := rowOf(w.p.Y)
+		perRow[r] = append(perRow[r], w)
+	}
+
+	// Legalisation tracks the occupied intervals of every row (macro
+	// blockages pre-inserted), so any remaining gap can host a cell even
+	// after its row has partially filled.
+	rowY := func(r int) geom.Coord { return cfg.Die.Lo.Y + geom.Coord(r)*cell.RowHeight }
+	occ := make([]*rowOccupancy, rows)
+	for r := range occ {
+		occ[r] = newRowOccupancy(cfg.Die.Lo.X, cfg.Die.Hi.X)
+		y := rowY(r)
+		rowRect := geom.R(cfg.Die.Lo.X, y, cfg.Die.Hi.X, y+cell.RowHeight)
+		for _, b := range blocked {
+			if rowRect.Intersects(b) {
+				occ[r].insert(b.Lo.X, b.Hi.X)
+			}
+		}
+	}
+
+	// tryPlace puts the cell into the gap nearest its desired x in row r.
+	tryPlace := func(id, r int, x geom.Coord) bool {
+		k := nl.Cells[id].Kind
+		pos, ok := occ[r].fit(snapSite(x, cfg.Die.Lo.X), k.Width)
+		if !ok {
+			return false
+		}
+		occ[r].insert(pos, pos+k.Width)
+		pl.Origins[id] = geom.Pt(pos, rowY(r))
+		return true
+	}
+
+	var leftovers []want
+	for r := 0; r < rows; r++ {
+		ws := perRow[r]
+		sort.Slice(ws, func(i, j int) bool {
+			if ws[i].p.X != ws[j].p.X {
+				return ws[i].p.X < ws[j].p.X
+			}
+			return ws[i].id < ws[j].id
+		})
+		for _, w := range ws {
+			if !tryPlace(w.id, r, w.p.X) {
+				leftovers = append(leftovers, w)
+			}
+		}
+	}
+
+	// Second pass: place leftovers in the nearest row with a wide-enough
+	// gap, searching outward from the desired row.
+	for _, w := range leftovers {
+		home := rowOf(w.p.Y)
+		placed := false
+		for d := 1; d < rows && !placed; d++ {
+			for _, r := range []int{home - d, home + d} {
+				if r < 0 || r >= rows {
+					continue
+				}
+				if tryPlace(w.id, r, w.p.X) {
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			return nil, fmt.Errorf("place: cell %d does not fit anywhere (utilisation too high)", w.id)
+		}
+	}
+	return pl, nil
+}
+
+// rowOccupancy tracks occupied x-intervals of one placement row, kept
+// sorted and non-overlapping.
+type rowOccupancy struct {
+	lo, hi geom.Coord
+	spans  []xspan // sorted by lo
+}
+
+type xspan struct{ lo, hi geom.Coord }
+
+func newRowOccupancy(lo, hi geom.Coord) *rowOccupancy {
+	return &rowOccupancy{lo: lo, hi: hi}
+}
+
+// insert marks [lo, hi) occupied. Overlapping inserts are merged.
+func (ro *rowOccupancy) insert(lo, hi geom.Coord) {
+	i := sort.Search(len(ro.spans), func(i int) bool { return ro.spans[i].lo >= lo })
+	ro.spans = append(ro.spans, xspan{})
+	copy(ro.spans[i+1:], ro.spans[i:])
+	ro.spans[i] = xspan{lo, hi}
+	// Merge neighbours that touch or overlap.
+	merged := ro.spans[:0]
+	for _, s := range ro.spans {
+		if n := len(merged); n > 0 && s.lo <= merged[n-1].hi {
+			if s.hi > merged[n-1].hi {
+				merged[n-1].hi = s.hi
+			}
+			continue
+		}
+		merged = append(merged, s)
+	}
+	ro.spans = merged
+}
+
+// fit returns a site-aligned position for a cell of the given width, as
+// close as possible to the desired x, or false when no gap is wide enough.
+func (ro *rowOccupancy) fit(desired, width geom.Coord) (geom.Coord, bool) {
+	if desired < ro.lo {
+		desired = ro.lo
+	}
+	if desired > ro.hi-width {
+		desired = ro.hi - width
+	}
+	// Gap list: positions between consecutive spans (and row ends).
+	type gap struct{ lo, hi geom.Coord }
+	best := geom.Coord(-1)
+	bestDist := geom.Coord(1) << 60
+	consider := func(g gap) {
+		lo := lsnap(g.lo, ro.lo)
+		if lo < g.lo {
+			lo += cell.SiteWidth
+		}
+		if lo+width > g.hi {
+			return
+		}
+		// Closest feasible site-aligned x to desired within [lo, g.hi-width].
+		x := desired
+		if x < lo {
+			x = lo
+		}
+		if x > g.hi-width {
+			x = lsnap(g.hi-width, ro.lo)
+		}
+		x = lsnap(x, ro.lo)
+		if x < lo {
+			x = lo
+		}
+		if x+width > g.hi {
+			return
+		}
+		d := (x - desired).Abs()
+		if d < bestDist {
+			bestDist = d
+			best = x
+		}
+	}
+	prev := ro.lo
+	for _, s := range ro.spans {
+		if s.lo > prev {
+			consider(gap{prev, s.lo})
+		}
+		if s.hi > prev {
+			prev = s.hi
+		}
+	}
+	if prev < ro.hi {
+		consider(gap{prev, ro.hi})
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// lsnap rounds x down to the site grid anchored at lo.
+func lsnap(x, lo geom.Coord) geom.Coord {
+	return lo + ((x-lo)/cell.SiteWidth)*cell.SiteWidth
+}
+
+// placeMacros stacks macros along the left and right die edges and returns
+// their blockage rectangles.
+func placeMacros(nl *netlist.Netlist, pl *Placement, macros []int) []geom.Rect {
+	var blocked []geom.Rect
+	leftY, rightY := pl.Die.Lo.Y, pl.Die.Lo.Y
+	margin := cell.RowHeight
+	for i, id := range macros {
+		k := nl.Cells[id].Kind
+		var org geom.Point
+		if i%2 == 0 {
+			org = geom.Pt(pl.Die.Lo.X, leftY)
+			leftY += k.Height + margin
+		} else {
+			org = geom.Pt(pl.Die.Hi.X-k.Width, rightY)
+			rightY += k.Height + margin
+		}
+		pl.Origins[id] = org
+		blocked = append(blocked, geom.R(org.X, org.Y, org.X+k.Width, org.Y+k.Height).Expand(margin/2))
+	}
+	return blocked
+}
+
+func snapSite(x, lo geom.Coord) geom.Coord {
+	return lo + ((x-lo)/cell.SiteWidth)*cell.SiteWidth
+}
+
+func overlapAny(r geom.Rect, rs []geom.Rect) bool {
+	for _, b := range rs {
+		if r.Intersects(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// HPWL returns the total half-perimeter wirelength of the placement, the
+// standard placement quality metric.
+func HPWL(nl *netlist.Netlist, pl *Placement) int64 {
+	var total int64
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		pts := make([]geom.Point, 0, 1+len(n.Sinks))
+		for _, r := range n.Pins() {
+			pts = append(pts, pl.PinLocation(nl, r))
+		}
+		total += int64(geom.BoundingBox(pts).HalfPerimeter())
+	}
+	return total
+}

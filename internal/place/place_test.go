@@ -1,0 +1,223 @@
+package place
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+func testNetlist(t *testing.T, n int, rng *rand.Rand) *netlist.Netlist {
+	t.Helper()
+	lib := cell.DefaultLibrary()
+	cells, err := netlist.GenerateCells(lib, netlist.CellMixConfig{NumCells: n, NumMacros: 2, SeqFraction: 0.1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &netlist.Netlist{Lib: lib, Cells: cells}
+}
+
+func testConfig(die geom.Rect) Config {
+	return Config{Die: die, Clusters: 4, ClusterTightness: 0.6, UtilisationTarget: 0.9}
+}
+
+func TestPlaceAllCellsInsideDie(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nl := testNetlist(t, 1000, rng)
+	die := geom.R(0, 0, 40000, 40000)
+	pl, err := Place(nl, testConfig(die), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range nl.Cells {
+		org := pl.Origin(c.ID)
+		if org.X < die.Lo.X || org.Y < die.Lo.Y ||
+			org.X+c.Kind.Width > die.Hi.X || org.Y+c.Kind.Height > die.Hi.Y {
+			t.Fatalf("cell %d (%s) at %v extends outside die", c.ID, c.Kind.Name, org)
+		}
+	}
+}
+
+func TestPlaceRowAndSiteAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	nl := testNetlist(t, 800, rng)
+	die := geom.R(0, 0, 40000, 40000)
+	pl, err := Place(nl, testConfig(die), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range nl.Cells {
+		if c.Kind.Macro {
+			continue
+		}
+		org := pl.Origin(c.ID)
+		if (org.Y-die.Lo.Y)%cell.RowHeight != 0 {
+			t.Fatalf("cell %d not row aligned: y=%d", c.ID, org.Y)
+		}
+		if (org.X-die.Lo.X)%cell.SiteWidth != 0 {
+			t.Fatalf("cell %d not site aligned: x=%d", c.ID, org.X)
+		}
+	}
+}
+
+func TestPlaceNoOverlapsWithinRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nl := testNetlist(t, 1500, rng)
+	die := geom.R(0, 0, 50000, 50000)
+	pl, err := Place(nl, testConfig(die), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type span struct{ lo, hi geom.Coord }
+	rows := map[geom.Coord][]span{}
+	for _, c := range nl.Cells {
+		if c.Kind.Macro {
+			continue
+		}
+		org := pl.Origin(c.ID)
+		rows[org.Y] = append(rows[org.Y], span{org.X, org.X + c.Kind.Width})
+	}
+	for y, spans := range rows {
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if a.lo < b.hi && b.lo < a.hi {
+					t.Fatalf("overlap in row y=%d: [%d,%d) vs [%d,%d)", y, a.lo, a.hi, b.lo, b.hi)
+				}
+			}
+		}
+	}
+}
+
+func TestPlaceStandardCellsAvoidMacros(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	nl := testNetlist(t, 1000, rng)
+	die := geom.R(0, 0, 40000, 40000)
+	pl, err := Place(nl, testConfig(die), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var macroRects []geom.Rect
+	for _, c := range nl.Cells {
+		if c.Kind.Macro {
+			org := pl.Origin(c.ID)
+			macroRects = append(macroRects, geom.R(org.X, org.Y, org.X+c.Kind.Width, org.Y+c.Kind.Height))
+		}
+	}
+	if len(macroRects) == 0 {
+		t.Fatal("no macros placed")
+	}
+	for _, c := range nl.Cells {
+		if c.Kind.Macro {
+			continue
+		}
+		org := pl.Origin(c.ID)
+		r := geom.R(org.X+1, org.Y+1, org.X+c.Kind.Width-1, org.Y+c.Kind.Height-1)
+		for _, m := range macroRects {
+			if r.Intersects(m) {
+				t.Fatalf("cell %d at %v overlaps macro %v", c.ID, org, m)
+			}
+		}
+	}
+}
+
+func TestPlaceRejectsOverfullDie(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nl := testNetlist(t, 5000, rng)
+	die := geom.R(0, 0, 3000, 3000) // far too small
+	if _, err := Place(nl, testConfig(die), rng); err == nil {
+		t.Error("want utilisation error for tiny die")
+	}
+}
+
+func TestPlaceDeterministicWithSeed(t *testing.T) {
+	run := func() []geom.Point {
+		rng := rand.New(rand.NewSource(7))
+		nl := testNetlist(t, 400, rng)
+		pl, err := Place(nl, testConfig(geom.R(0, 0, 30000, 30000)), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl.Origins
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("origin %d differs between identical-seed runs", i)
+		}
+	}
+}
+
+func TestPinLocation(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	nl := testNetlist(t, 50, rng)
+	pl, err := Place(nl, testConfig(geom.R(0, 0, 20000, 20000)), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := netlist.PinRef{Cell: 3, Pin: 0}
+	want := pl.Origin(3).Add(nl.PinDef(ref).Offset)
+	if got := pl.PinLocation(nl, ref); got != want {
+		t.Errorf("PinLocation = %v, want %v", got, want)
+	}
+}
+
+func TestHPWLReflectsLocality(t *testing.T) {
+	// A placement-aware netlist (nets generated after placement) must have
+	// much smaller HPWL than a random-connectivity one on the same cells.
+	rng := rand.New(rand.NewSource(9))
+	nl := testNetlist(t, 1200, rng)
+	die := geom.R(0, 0, 50000, 50000)
+	pl, err := Place(nl, testConfig(die), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := func(id int) geom.Point { return pl.Origin(id) }
+
+	localCfg := netlist.NetGenConfig{
+		NumNets: 600,
+		Classes: []netlist.ReachClass{{Frac: 1, MeanReach: 1000}},
+	}
+	localNets, err := netlist.GenerateNets(nl.Cells, pos, die, localCfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalCfg := netlist.NetGenConfig{
+		NumNets: 600,
+		Classes: []netlist.ReachClass{{Frac: 1, MeanReach: 60000}},
+	}
+	globalNets, err := netlist.GenerateNets(nl.Cells, pos, die, globalCfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nlLocal := &netlist.Netlist{Lib: nl.Lib, Cells: nl.Cells, Nets: localNets}
+	nlGlobal := &netlist.Netlist{Lib: nl.Lib, Cells: nl.Cells, Nets: globalNets}
+	hl, hg := HPWL(nlLocal, pl), HPWL(nlGlobal, pl)
+	if hl*3 > hg {
+		t.Errorf("local HPWL %d not far below global HPWL %d", hl, hg)
+	}
+}
+
+func TestPlaceDefaultsApplied(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	nl := testNetlist(t, 100, rng)
+	// Zero-value knobs should fall back to sane defaults, not fail.
+	pl, err := Place(nl, Config{Die: geom.R(0, 0, 20000, 20000)}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Origins) != len(nl.Cells) {
+		t.Errorf("placement covers %d cells, want %d", len(pl.Origins), len(nl.Cells))
+	}
+}
+
+func TestPlaceRejectsEmptyDie(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	nl := testNetlist(t, 10, rng)
+	if _, err := Place(nl, Config{Die: geom.R(0, 0, 0, 0)}, rng); err == nil {
+		t.Error("want error for empty die")
+	}
+}

@@ -1,0 +1,284 @@
+// Package priorwork implements the baseline attacks the paper compares
+// against:
+//
+//   - The proximity-region attack of Magaña et al. [5]: a linear-regression
+//     model, fitted across designs, predicts a search-region radius around
+//     each v-pin from congestion and wirelength measurements; the List of
+//     Candidates is every legal v-pin inside the region. It produces large
+//     LoCs at moderate accuracy — the reference row of Table I and the
+//     reference curve of Fig. 9.
+//   - The naive nearest-neighbour proximity attack of Rajendran et al. [9]:
+//     match every v-pin to its nearest legal v-pin.
+package priorwork
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/features"
+	"repro/internal/split"
+)
+
+// numPredictors is the regression design width: intercept, routing
+// congestion, placement congestion, and normalised below-split wirelength.
+const numPredictors = 4
+
+// Model is the fitted linear-regression radius predictor.
+type Model struct {
+	w [numPredictors]float64
+}
+
+// predictors fills x with the regression inputs of v-pin i. Distances are
+// normalised by die width so the model transfers across designs.
+func predictors(ch *split.Challenge, i int, dieW float64, x *[numPredictors]float64) {
+	v := &ch.VPins[i]
+	x[0] = 1
+	x[1] = ch.RC(v)
+	x[2] = ch.PC(v)
+	x[3] = float64(v.Wirelength) / dieW
+}
+
+// Train fits the radius model on the true matches of the given challenges
+// by ordinary least squares (normal equations with a small ridge term for
+// numerical stability).
+func Train(chs []*split.Challenge) (*Model, error) {
+	var xtx [numPredictors][numPredictors]float64
+	var xty [numPredictors]float64
+	samples := 0
+	for _, ch := range chs {
+		dieW := float64(ch.Design.Die().Width())
+		var x [numPredictors]float64
+		for i := range ch.VPins {
+			v := &ch.VPins[i]
+			m := &ch.VPins[v.Match]
+			predictors(ch, i, dieW, &x)
+			y := float64(v.Pos.Manhattan(m.Pos)) / dieW
+			for a := 0; a < numPredictors; a++ {
+				for b := 0; b < numPredictors; b++ {
+					xtx[a][b] += x[a] * x[b]
+				}
+				xty[a] += x[a] * y
+			}
+			samples++
+		}
+	}
+	if samples < numPredictors {
+		return nil, fmt.Errorf("priorwork: only %d training matches", samples)
+	}
+	for a := 0; a < numPredictors; a++ {
+		xtx[a][a] += 1e-9 * float64(samples)
+	}
+	w, ok := solve(xtx, xty)
+	if !ok {
+		return nil, fmt.Errorf("priorwork: singular normal equations")
+	}
+	return &Model{w: w}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on the 4x4
+// system.
+func solve(a [numPredictors][numPredictors]float64, b [numPredictors]float64) ([numPredictors]float64, bool) {
+	n := numPredictors
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[p][col]) {
+				p = r
+			}
+		}
+		if abs(a[p][col]) < 1e-18 {
+			return b, false
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x [numPredictors]float64
+	for r := n - 1; r >= 0; r-- {
+		x[r] = b[r]
+		for c := r + 1; c < n; c++ {
+			x[r] -= a[r][c] * x[c]
+		}
+		x[r] /= a[r][r]
+	}
+	return x, true
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// PredictRadius returns the predicted search radius (normalised by die
+// width) for v-pin i of the challenge.
+func (m *Model) PredictRadius(ch *split.Challenge, i int) float64 {
+	var x [numPredictors]float64
+	predictors(ch, i, float64(ch.Design.Die().Width()), &x)
+	var r float64
+	for k := 0; k < numPredictors; k++ {
+		r += m.w[k] * x[k]
+	}
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Outcome summarises the regression attack against one design.
+type Outcome struct {
+	Design string
+	// MeanLoC is the average search-region population.
+	MeanLoC float64
+	// Accuracy is the fraction of v-pins whose true match lies inside the
+	// region.
+	Accuracy float64
+	// PASuccess is the success rate of picking the nearest region member.
+	PASuccess float64
+}
+
+// Attack runs the regression-region attack on a challenge. slack scales
+// every predicted radius; 1.0 is the fitted model, larger values trade LoC
+// size for accuracy (used to sweep the prior-work curve in Fig. 9).
+func (m *Model) Attack(ch *split.Challenge, slack float64, rng *rand.Rand) Outcome {
+	ex := features.NewExtractor(ch)
+	n := len(ch.VPins)
+	dieW := float64(ch.Design.Die().Width())
+	out := Outcome{Design: ch.Design.Name}
+	totalLoC := 0
+	hits := 0
+	pa := 0
+	for a := 0; a < n; a++ {
+		radius := m.PredictRadius(ch, a) * slack * dieW
+		match := ch.VPins[a].Match
+		loc := 0
+		best := -1
+		bestD := 0.0
+		ties := 0
+		for b := 0; b < n; b++ {
+			if b == a || !ex.Legal(a, b) {
+				continue
+			}
+			d := ex.VpinDist(a, b)
+			if d > radius {
+				continue
+			}
+			loc++
+			switch {
+			case best < 0 || d < bestD:
+				best, bestD, ties = b, d, 1
+			case d == bestD:
+				ties++
+				if rng.Intn(ties) == 0 {
+					best = b
+				}
+			}
+			if b == match {
+				hits++
+			}
+		}
+		totalLoC += loc
+		if best == match {
+			pa++
+		}
+	}
+	out.MeanLoC = float64(totalLoC) / float64(n)
+	out.Accuracy = float64(hits) / float64(n)
+	out.PASuccess = float64(pa) / float64(n)
+	return out
+}
+
+// RunLeaveOneOut evaluates the regression attack with the paper's
+// cross-validation discipline: each design is attacked by a model fitted on
+// the remaining ones. ([5] itself fitted across all designs at once — the
+// paper criticises exactly that — so this is a slightly stronger version of
+// the baseline.)
+func RunLeaveOneOut(chs []*split.Challenge, slack float64, seed int64) ([]Outcome, error) {
+	if len(chs) < 2 {
+		return nil, fmt.Errorf("priorwork: need at least 2 designs")
+	}
+	outcomes := make([]Outcome, len(chs))
+	for target := range chs {
+		train := make([]*split.Challenge, 0, len(chs)-1)
+		for i, ch := range chs {
+			if i != target {
+				train = append(train, ch)
+			}
+		}
+		model, err := Train(train)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(seed + int64(target)))
+		outcomes[target] = model.Attack(chs[target], slack, rng)
+	}
+	return outcomes, nil
+}
+
+// CurvePoint is one (mean LoC fraction, accuracy) sample of the regression
+// attack's trade-off sweep.
+type CurvePoint struct {
+	LoCFrac  float64
+	Accuracy float64
+}
+
+// Curve sweeps the slack factor and reports the aggregate trade-off of the
+// regression attack over all challenges (leave-one-out), for the prior-work
+// reference curve of Fig. 9.
+func Curve(chs []*split.Challenge, slacks []float64, seed int64) ([]CurvePoint, error) {
+	pts := make([]CurvePoint, 0, len(slacks))
+	for _, s := range slacks {
+		outs, err := RunLeaveOneOut(chs, s, seed)
+		if err != nil {
+			return nil, err
+		}
+		var frac, acc float64
+		for i, o := range outs {
+			frac += o.MeanLoC / float64(len(chs[i].VPins))
+			acc += o.Accuracy
+		}
+		pts = append(pts, CurvePoint{LoCFrac: frac / float64(len(outs)), Accuracy: acc / float64(len(outs))})
+	}
+	return pts, nil
+}
+
+// NearestNeighborPA is the naive proximity attack of [9]: every v-pin is
+// matched to its nearest legal v-pin (ties broken randomly). It returns the
+// success rate.
+func NearestNeighborPA(ch *split.Challenge, rng *rand.Rand) float64 {
+	ex := features.NewExtractor(ch)
+	n := len(ch.VPins)
+	success := 0
+	for a := 0; a < n; a++ {
+		best := -1
+		bestD := 0.0
+		ties := 0
+		for b := 0; b < n; b++ {
+			if b == a || !ex.Legal(a, b) {
+				continue
+			}
+			d := ex.VpinDist(a, b)
+			switch {
+			case best < 0 || d < bestD:
+				best, bestD, ties = b, d, 1
+			case d == bestD:
+				ties++
+				if rng.Intn(ties) == 0 {
+					best = b
+				}
+			}
+		}
+		if best == ch.VPins[a].Match {
+			success++
+		}
+	}
+	return float64(success) / float64(n)
+}

@@ -1,0 +1,191 @@
+package priorwork
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/split"
+)
+
+var (
+	pwOnce sync.Once
+	pwErr  error
+	pwChs  []*split.Challenge
+)
+
+func testChallenges(t *testing.T) []*split.Challenge {
+	t.Helper()
+	pwOnce.Do(func() {
+		designs, err := layout.GenerateSuite(layout.SuiteConfig{Scale: 0.2, Seed: 9})
+		if err != nil {
+			pwErr = err
+			return
+		}
+		for _, d := range designs {
+			c, err := split.NewChallenge(d, 6)
+			if err != nil {
+				pwErr = err
+				return
+			}
+			pwChs = append(pwChs, c)
+		}
+	})
+	if pwErr != nil {
+		t.Fatal(pwErr)
+	}
+	return pwChs
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// Identity system: solution equals RHS.
+	var a [numPredictors][numPredictors]float64
+	for i := range a {
+		a[i][i] = 1
+	}
+	b := [numPredictors]float64{1, 2, 3, 4}
+	x, ok := solve(a, b)
+	if !ok {
+		t.Fatal("identity system reported singular")
+	}
+	for i := range b {
+		if x[i] != b[i] {
+			t.Fatalf("x = %v, want %v", x, b)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	var a [numPredictors][numPredictors]float64 // all zeros
+	if _, ok := solve(a, [numPredictors]float64{1, 0, 0, 0}); ok {
+		t.Error("singular system not detected")
+	}
+}
+
+func TestTrainRecoversPlantedIntercept(t *testing.T) {
+	// With identical designs, the model must predict radii of the same
+	// order as the true matched distances.
+	chs := testChallenges(t)
+	m, err := Train(chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := chs[0]
+	dieW := float64(ch.Design.Die().Width())
+	var predSum, trueSum float64
+	for i := range ch.VPins {
+		predSum += m.PredictRadius(ch, i)
+		trueSum += float64(ch.VPins[i].Pos.Manhattan(ch.VPins[ch.VPins[i].Match].Pos)) / dieW
+	}
+	n := float64(len(ch.VPins))
+	if predSum/n < 0.2*(trueSum/n) || predSum/n > 5*(trueSum/n) {
+		t.Errorf("mean predicted radius %.4f far from mean true distance %.4f",
+			predSum/n, trueSum/n)
+	}
+}
+
+func TestPredictRadiusNonNegative(t *testing.T) {
+	chs := testChallenges(t)
+	m, err := Train(chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range chs[1].VPins {
+		if r := m.PredictRadius(chs[1], i); r < 0 {
+			t.Fatalf("negative radius %f", r)
+		}
+	}
+}
+
+func TestAttackOutcomeShape(t *testing.T) {
+	chs := testChallenges(t)
+	outs, err := RunLeaveOneOut(chs, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(chs) {
+		t.Fatalf("%d outcomes for %d designs", len(outs), len(chs))
+	}
+	for i, o := range outs {
+		if o.Design != chs[i].Design.Name {
+			t.Errorf("outcome %d design %s", i, o.Design)
+		}
+		if o.Accuracy < 0 || o.Accuracy > 1 || o.PASuccess < 0 || o.PASuccess > 1 {
+			t.Errorf("%s: rates out of range: %+v", o.Design, o)
+		}
+		if o.MeanLoC < 0 || o.MeanLoC > float64(len(chs[i].VPins)) {
+			t.Errorf("%s: implausible mean LoC %f", o.Design, o.MeanLoC)
+		}
+		if o.PASuccess > o.Accuracy+1e-9 {
+			t.Errorf("%s: PA success %f exceeds accuracy %f", o.Design, o.PASuccess, o.Accuracy)
+		}
+	}
+}
+
+func TestSlackTradeoff(t *testing.T) {
+	// Larger slack must grow the regions (more LoC) and not reduce
+	// accuracy.
+	chs := testChallenges(t)
+	small, err := RunLeaveOneOut(chs, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunLeaveOneOut(chs, 2.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smallLoC, bigLoC, smallAcc, bigAcc float64
+	for i := range small {
+		smallLoC += small[i].MeanLoC
+		bigLoC += big[i].MeanLoC
+		smallAcc += small[i].Accuracy
+		bigAcc += big[i].Accuracy
+	}
+	if bigLoC <= smallLoC {
+		t.Errorf("slack 2.0 LoC %.1f not above slack 0.5 LoC %.1f", bigLoC, smallLoC)
+	}
+	if bigAcc < smallAcc {
+		t.Errorf("slack 2.0 accuracy %.3f below slack 0.5 accuracy %.3f", bigAcc, smallAcc)
+	}
+}
+
+func TestCurveMonotone(t *testing.T) {
+	chs := testChallenges(t)
+	pts, err := Curve(chs, []float64{0.5, 1, 2, 4}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].LoCFrac < pts[i-1].LoCFrac {
+			t.Errorf("curve LoC fraction not non-decreasing at %d", i)
+		}
+		if pts[i].Accuracy < pts[i-1].Accuracy-1e-9 {
+			t.Errorf("curve accuracy not non-decreasing at %d", i)
+		}
+	}
+}
+
+func TestNearestNeighborPA(t *testing.T) {
+	chs := testChallenges(t)
+	rng := rand.New(rand.NewSource(4))
+	for _, ch := range chs[:2] {
+		s := NearestNeighborPA(ch, rng)
+		if s < 0 || s > 1 {
+			t.Fatalf("NN PA success %f out of range", s)
+		}
+	}
+}
+
+func TestRunLeaveOneOutRejectsSmallInput(t *testing.T) {
+	chs := testChallenges(t)
+	if _, err := RunLeaveOneOut(chs[:1], 1, 1); err == nil {
+		t.Error("single design accepted")
+	}
+}
+
+func TestTrainRejectsEmpty(t *testing.T) {
+	if _, err := Train(nil); err == nil {
+		t.Error("empty training set accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package route
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestStatsShape(t *testing.T) {
+	_, _, r := buildTestDesign(t, 20, 1500, 1200)
+	stats := r.Stats()
+	if len(stats) != NumMetal {
+		t.Fatalf("%d layer stats, want %d", len(stats), NumMetal)
+	}
+	var totalWL int64
+	for i, s := range stats {
+		if s.Layer != i+1 {
+			t.Fatalf("stats[%d].Layer = %d", i, s.Layer)
+		}
+		if s.Dir != LayerDir(s.Layer) {
+			t.Fatalf("M%d direction mismatch", s.Layer)
+		}
+		if s.Tracks <= 0 || s.Capacity <= 0 {
+			t.Fatalf("M%d has no capacity", s.Layer)
+		}
+		if s.Utilisation < 0 || s.Utilisation > 1.5 {
+			t.Fatalf("M%d utilisation %.3f implausible", s.Layer, s.Utilisation)
+		}
+		totalWL += s.Wirelength
+	}
+	if totalWL != r.TotalWirelength() {
+		t.Errorf("per-layer wirelength %d != total %d", totalWL, r.TotalWirelength())
+	}
+}
+
+func TestStatsBottomHeavier(t *testing.T) {
+	// Most wirelength sits on the lower layer pairs; the top layer must
+	// carry less than the local layers combined.
+	_, _, r := buildTestDesign(t, 21, 1500, 1200)
+	stats := r.Stats()
+	low := stats[0].Wirelength + stats[1].Wirelength
+	top := stats[NumMetal-1].Wirelength
+	if top >= low {
+		t.Errorf("top-layer wirelength %d not below M1+M2 %d", top, low)
+	}
+}
+
+func TestStatsTrackPitchCoarserOnTop(t *testing.T) {
+	_, _, r := buildTestDesign(t, 22, 300, 250)
+	stats := r.Stats()
+	if stats[0].Tracks <= stats[NumMetal-1].Tracks {
+		t.Errorf("M1 tracks %d not more than M9 tracks %d (wider top wires mean fewer tracks)",
+			stats[0].Tracks, stats[NumMetal-1].Tracks)
+	}
+}
+
+func TestWriteStats(t *testing.T) {
+	_, _, r := buildTestDesign(t, 23, 300, 250)
+	var buf bytes.Buffer
+	WriteStats(&buf, r.Stats())
+	out := buf.String()
+	for _, want := range []string{"M1", "M9", "utilisation", "horizontal", "vertical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q", want)
+		}
+	}
+}
+
+func TestCongestionAt(t *testing.T) {
+	_, _, r := buildTestDesign(t, 24, 1000, 800)
+	// The die centre of a clustered design should be near or above mean
+	// congestion somewhere; just check bounds and a non-trivial spread.
+	var lo, hi float64 = 1e18, -1
+	for x := 0; x <= 4; x++ {
+		for y := 0; y <= 4; y++ {
+			p := r.Die.Lo
+			p.X += r.Die.Width() * geom.Coord(x) / 4
+			p.Y += r.Die.Height() * geom.Coord(y) / 4
+			c := r.CongestionAt(p)
+			if c < 0 {
+				t.Fatalf("negative congestion at %v", p)
+			}
+			if c < lo {
+				lo = c
+			}
+			if c > hi {
+				hi = c
+			}
+		}
+	}
+	if hi == lo {
+		t.Error("congestion perfectly uniform; demand grid not working")
+	}
+}

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/route"
+	"repro/internal/split"
+)
+
+// Rewire builds the netlist an attacker would reconstruct from a split
+// challenge given a pairing of v-pins: for every cut net, the driver-side
+// fragment is connected to the sink fragment of the v-pin the attacker
+// picked. pairing maps driver-side v-pin IDs to the guessed partner v-pin
+// IDs; drivers without a guess (or with an illegal guess) lose their
+// sinks, and sink groups claimed by several drivers end up driven by the
+// last claimant — both are real failure modes of a wrong reconstruction.
+func Rewire(ch *split.Challenge, pairing map[int]int) *netlist.Netlist {
+	nl := ch.Design.Netlist
+	out := &netlist.Netlist{
+		Lib:   nl.Lib,
+		Cells: nl.Cells,
+		Nets:  append([]netlist.Net(nil), nl.Nets...),
+	}
+	for i := range ch.VPins {
+		v := &ch.VPins[i]
+		if v.Side != route.DriverSide {
+			continue
+		}
+		out.Nets[v.Net].Sinks = nil // cut: BEOL connectivity unknown
+		b, ok := pairing[v.ID]
+		if !ok || b < 0 || b >= len(ch.VPins) {
+			continue
+		}
+		partner := &ch.VPins[b]
+		if partner.Side != route.SinkSide {
+			continue
+		}
+		out.Nets[v.Net].Sinks = nl.Nets[partner.Net].Sinks
+	}
+	return out
+}
+
+// TruthPairing returns the ground-truth pairing of a challenge.
+func TruthPairing(ch *split.Challenge) map[int]int {
+	out := make(map[int]int, len(ch.VPins)/2)
+	for i := range ch.VPins {
+		if ch.VPins[i].Side == route.DriverSide {
+			out[i] = ch.VPins[i].Match
+		}
+	}
+	return out
+}
+
+// RecoveryReport quantifies how well a reconstructed netlist matches the
+// reference.
+type RecoveryReport struct {
+	// Vectors is the number of random input environments simulated.
+	Vectors int
+	// StructuralRate is the fraction of cut nets whose guess is exactly
+	// the true partner (the paper's PA success over driver-side v-pins).
+	StructuralRate float64
+	// FunctionalRate is the fraction of (cut-net sink pin, vector) pairs
+	// whose simulated value matches the reference. Wrong guesses that feed
+	// a correlated signal still score here, so FunctionalRate >=
+	// StructuralRate in expectation; 0.5 is chance level.
+	FunctionalRate float64
+	// CutSinkPins is the number of observation points per vector.
+	CutSinkPins int
+}
+
+// EvaluateRecovery simulates the reference design and the attacker's
+// reconstruction on shared random input environments and reports
+// structural and functional recovery rates.
+func EvaluateRecovery(ch *split.Challenge, pairing map[int]int, vectors int, seed int64) (RecoveryReport, error) {
+	if vectors <= 0 {
+		return RecoveryReport{}, fmt.Errorf("sim: vector count must be positive")
+	}
+	nl := ch.Design.Netlist
+	ref, err := Build(nl)
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+	rewired := Rewire(ch, pairing)
+	att, err := Build(rewired)
+	if err != nil {
+		return RecoveryReport{}, err
+	}
+
+	rep := RecoveryReport{Vectors: vectors}
+
+	// Structural score.
+	drivers := 0
+	for i := range ch.VPins {
+		v := &ch.VPins[i]
+		if v.Side != route.DriverSide {
+			continue
+		}
+		drivers++
+		if b, ok := pairing[v.ID]; ok && b == v.Match {
+			rep.StructuralRate++
+		}
+	}
+	if drivers > 0 {
+		rep.StructuralRate /= float64(drivers)
+	}
+
+	// Observation points: the sink pins of every cut net, with the net
+	// driving each pin in the rewired netlist (or -1 when undriven).
+	type obs struct {
+		refNet int
+		attNet int
+		cell   int
+		pin    int
+	}
+	attDriving := map[[2]int]int{}
+	for i := range rewired.Nets {
+		for _, s := range rewired.Nets[i].Sinks {
+			attDriving[[2]int{s.Cell, s.Pin}] = i
+		}
+	}
+	var points []obs
+	for i := range ch.VPins {
+		v := &ch.VPins[i]
+		if v.Side != route.SinkSide {
+			continue
+		}
+		for _, s := range nl.Nets[v.Net].Sinks {
+			attNet, ok := attDriving[[2]int{s.Cell, s.Pin}]
+			if !ok {
+				attNet = -1
+			}
+			points = append(points, obs{refNet: v.Net, attNet: attNet, cell: s.Cell, pin: s.Pin})
+		}
+	}
+	rep.CutSinkPins = len(points)
+	if len(points) == 0 {
+		return rep, nil
+	}
+
+	agree := 0
+	for _, in := range Vectors(seed, vectors) {
+		vref := ref.Simulate(in)
+		vatt := att.Simulate(in)
+		for _, p := range points {
+			want := vref[p.refNet]
+			var got bool
+			if p.attNet >= 0 {
+				got = vatt[p.attNet]
+			} else {
+				got = in.undriven(p.cell, p.pin)
+			}
+			if got == want {
+				agree++
+			}
+		}
+	}
+	rep.FunctionalRate = float64(agree) / float64(len(points)*vectors)
+	return rep, nil
+}

@@ -1,0 +1,272 @@
+// Package sim is a gate-level logic simulator over the synthetic cell
+// library, used to evaluate what a split-manufacturing attack actually
+// recovers: not just whether the attacker names the right v-pin partner
+// (structural success, the paper's PA metric), but whether the
+// reconstructed netlist computes the right values (functional recovery).
+// Wrong guesses can still be functionally harmless when the swapped
+// drivers compute correlated signals, so functional recovery bounds
+// structural recovery from above — the quantity a reverse engineer
+// ultimately cares about.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/netlist"
+)
+
+// Eval computes the output of a combinational cell kind given its input
+// values in pin order. Unknown kinds conservatively return false.
+func Eval(kindName string, in []bool) bool {
+	base := kindName
+	if i := strings.IndexByte(base, '_'); i >= 0 {
+		base = base[:i]
+	}
+	all := func(want bool) bool {
+		for _, v := range in {
+			if v != want {
+				return false
+			}
+		}
+		return true
+	}
+	any := func(want bool) bool {
+		for _, v := range in {
+			if v == want {
+				return true
+			}
+		}
+		return false
+	}
+	switch base {
+	case "INV":
+		return !in[0]
+	case "BUF":
+		return in[0]
+	case "NAND2", "NAND3", "NAND4":
+		return !all(true)
+	case "NOR2", "NOR3":
+		return !any(true)
+	case "AND2":
+		return all(true)
+	case "OR2":
+		return any(true)
+	case "XOR2":
+		return in[0] != in[1]
+	case "AOI21":
+		// !((A1 & A2) | A3)
+		return !((in[0] && in[1]) || in[2])
+	case "OAI21":
+		// !((A1 | A2) & A3)
+		return !((in[0] || in[1]) && in[2])
+	case "AOI22":
+		return !((in[0] && in[1]) || (in[2] && in[3]))
+	case "MUX2":
+		// A3 selects between A1 and A2.
+		if in[2] {
+			return in[1]
+		}
+		return in[0]
+	default:
+		return false
+	}
+}
+
+// IsSequential reports whether the kind is a state element (or macro)
+// whose outputs act as pseudo-primary inputs during combinational
+// simulation.
+func IsSequential(kindName string) bool {
+	return strings.HasPrefix(kindName, "DFF") ||
+		strings.HasPrefix(kindName, "RAM") ||
+		strings.HasPrefix(kindName, "MACRO")
+}
+
+// Circuit is a netlist prepared for combinational simulation: values live
+// on nets; gates evaluate in topological order; sequential/macro outputs
+// and undriven inputs are pseudo-primary inputs.
+type Circuit struct {
+	nl *netlist.Netlist
+	// netOfOutPin[cell][pin] would be sparse; instead store per net.
+	// driverCell[net] / driverPin mirrors nl.Nets[net].Driver.
+	// inputNets[cell] lists, per input pin index order, the net driving it
+	// (-1 when undriven).
+	inputNets [][]int
+	inputPins [][]int // pin indices aligned with inputNets
+	outNet    []int   // cell -> net driven by its (first) output pin, -1 none
+	order     []int   // combinational cells in evaluation order
+	cyclic    int     // cells left in combinational cycles
+	seqCells  []int
+}
+
+// Build prepares a circuit from a netlist.
+func Build(nl *netlist.Netlist) (*Circuit, error) {
+	nCells := len(nl.Cells)
+	c := &Circuit{
+		nl:        nl,
+		inputNets: make([][]int, nCells),
+		inputPins: make([][]int, nCells),
+		outNet:    make([]int, nCells),
+	}
+	for i := range c.outNet {
+		c.outNet[i] = -1
+	}
+	// Per-pin driving net.
+	type pinKey struct{ cell, pin int }
+	driving := make(map[pinKey]int)
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		for _, s := range n.Sinks {
+			driving[pinKey{s.Cell, s.Pin}] = i
+		}
+		if c.outNet[n.Driver.Cell] < 0 {
+			c.outNet[n.Driver.Cell] = i
+		}
+	}
+	for _, cl := range nl.Cells {
+		for _, pin := range cl.Kind.Inputs() {
+			net, ok := driving[pinKey{cl.ID, pin}]
+			if !ok {
+				net = -1
+			}
+			c.inputNets[cl.ID] = append(c.inputNets[cl.ID], net)
+			c.inputPins[cl.ID] = append(c.inputPins[cl.ID], pin)
+		}
+		if IsSequential(cl.Kind.Name) {
+			c.seqCells = append(c.seqCells, cl.ID)
+		}
+	}
+
+	// Kahn topological order over combinational cells: a cell is ready
+	// when all its driven inputs come from pseudo-inputs or already
+	// ordered cells.
+	indeg := make([]int, nCells)
+	dependents := make([][]int32, nCells)
+	comb := func(id int) bool { return !IsSequential(nl.Cells[id].Kind.Name) }
+	for _, cl := range nl.Cells {
+		if !comb(cl.ID) {
+			continue
+		}
+		for _, net := range c.inputNets[cl.ID] {
+			if net < 0 {
+				continue
+			}
+			drv := nl.Nets[net].Driver.Cell
+			if comb(drv) {
+				indeg[cl.ID]++
+				dependents[drv] = append(dependents[drv], int32(cl.ID))
+			}
+		}
+	}
+	queue := make([]int, 0, nCells)
+	for _, cl := range nl.Cells {
+		if comb(cl.ID) && indeg[cl.ID] == 0 {
+			queue = append(queue, cl.ID)
+		}
+	}
+	sort.Ints(queue) // determinism
+	for len(queue) > 0 {
+		id := queue[0]
+		queue = queue[1:]
+		c.order = append(c.order, id)
+		for _, dep := range dependents[id] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				queue = append(queue, int(dep))
+			}
+		}
+	}
+	for _, cl := range nl.Cells {
+		if comb(cl.ID) && indeg[cl.ID] > 0 {
+			c.cyclic++
+			c.order = append(c.order, cl.ID) // evaluated with extra sweeps
+		}
+	}
+	if len(c.order) == 0 && c.cyclic == 0 && len(c.seqCells) == 0 {
+		return nil, fmt.Errorf("sim: empty circuit")
+	}
+	return c, nil
+}
+
+// CyclicCells reports how many combinational cells sit in feedback loops
+// (they are simulated with relaxation sweeps).
+func (c *Circuit) CyclicCells() int { return c.cyclic }
+
+// Inputs abstracts the pseudo-primary input values of one vector:
+// sequential-cell outputs and undriven gate inputs. Keyed deterministically
+// so the reference and the attacked circuit see the same environment.
+type Inputs struct {
+	seed   int64
+	vector int
+}
+
+// NewInputs fixes the random environment for one input vector.
+func NewInputs(seed int64, vector int) Inputs { return Inputs{seed: seed, vector: vector} }
+
+func (in Inputs) seqOut(cell int) bool {
+	return hashBit(in.seed, in.vector, int64(cell), 0x5e)
+}
+
+func (in Inputs) undriven(cell, pin int) bool {
+	return hashBit(in.seed, in.vector, int64(cell)<<20|int64(pin), 0x77)
+}
+
+// hashBit is a small deterministic mixer (splitmix64-flavoured).
+func hashBit(seed int64, vector int, key int64, salt int64) bool {
+	x := uint64(seed) ^ uint64(vector)*0x9e3779b97f4a7c15 ^ uint64(key)*0xbf58476d1ce4e5b9 ^ uint64(salt)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x&1 == 1
+}
+
+// Simulate evaluates the circuit for one input vector and returns the
+// value of every net.
+func (c *Circuit) Simulate(in Inputs) []bool {
+	nl := c.nl
+	values := make([]bool, len(nl.Nets))
+
+	// Seed nets driven by sequential/macro cells.
+	for i := range nl.Nets {
+		drv := nl.Nets[i].Driver.Cell
+		if IsSequential(nl.Cells[drv].Kind.Name) {
+			values[i] = in.seqOut(drv)
+		}
+	}
+
+	sweeps := 1
+	if c.cyclic > 0 {
+		sweeps = 3 // relaxation for feedback loops
+	}
+	inBuf := make([]bool, 8)
+	for s := 0; s < sweeps; s++ {
+		for _, id := range c.order {
+			cl := &nl.Cells[id]
+			ins := inBuf[:0]
+			for k, net := range c.inputNets[id] {
+				if net < 0 {
+					ins = append(ins, in.undriven(id, c.inputPins[id][k]))
+				} else {
+					ins = append(ins, values[net])
+				}
+			}
+			out := Eval(cl.Kind.Name, ins)
+			if c.outNet[id] >= 0 {
+				values[c.outNet[id]] = out
+			}
+		}
+	}
+	return values
+}
+
+// Vectors returns n distinct input environments under one seed.
+func Vectors(seed int64, n int) []Inputs {
+	out := make([]Inputs, n)
+	for i := range out {
+		out[i] = NewInputs(seed, i)
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+package split
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+	"repro/internal/route"
+)
+
+// Fragment is one connected piece of FEOL wiring hanging off a v-pin: the
+// geometry and standard-cell pins the untrusted foundry can trace below the
+// split. This is the "gate-level description of the partially-connected
+// network" of §II-A, from which all per-v-pin features derive.
+type Fragment struct {
+	// VPin is the ID of the v-pin this fragment terminates in.
+	VPin int
+	// Pins are the standard-cell pins reached by the fragment.
+	Pins []netlist.PinRef
+	// Segments and Vias are the visible below-split geometry.
+	Segments []route.Segment
+	Vias     []route.Via
+}
+
+// Wirelength returns the fragment's total routed length.
+func (f *Fragment) Wirelength() (total int64) {
+	for _, s := range f.Segments {
+		total += int64(s.Len())
+	}
+	return total
+}
+
+// FEOLView is the attacker's complete view of a challenge: per-v-pin
+// fragments for every cut net plus the nets that are entirely visible
+// (routed at or below the split layer).
+type FEOLView struct {
+	SplitLayer int
+	// Fragments is indexed by v-pin ID.
+	Fragments []Fragment
+	// CompleteNets lists the IDs of nets whose routing never rises above
+	// the split layer; the foundry sees those connections in full.
+	CompleteNets []int
+}
+
+// FEOL constructs the attacker-visible view of the challenge.
+func (c *Challenge) FEOL() *FEOLView {
+	d := c.Design
+	view := &FEOLView{
+		SplitLayer: c.SplitLayer,
+		Fragments:  make([]Fragment, len(c.VPins)),
+	}
+
+	// Map (net, side) -> v-pin ID for fragment attribution.
+	type key struct {
+		net  int
+		side route.Side
+	}
+	owner := make(map[key]int, len(c.VPins))
+	for i := range c.VPins {
+		v := &c.VPins[i]
+		owner[key{v.Net, v.Side}] = v.ID
+		view.Fragments[v.ID] = Fragment{VPin: v.ID}
+	}
+
+	for netID := range d.Netlist.Nets {
+		rt := &d.Routing.Routes[netID]
+		if rt.TrunkLayer <= c.SplitLayer {
+			view.CompleteNets = append(view.CompleteNets, netID)
+			continue
+		}
+		net := &d.Netlist.Nets[netID]
+		// Below-split geometry belongs to the side's fragment.
+		for _, s := range rt.Segments {
+			if s.Layer > c.SplitLayer {
+				continue
+			}
+			id := owner[key{netID, s.Side}]
+			view.Fragments[id].Segments = append(view.Fragments[id].Segments, s)
+		}
+		for _, v := range rt.Vias {
+			if v.Layer >= c.SplitLayer {
+				continue // the split-layer via is the v-pin itself
+			}
+			id := owner[key{netID, v.Side}]
+			view.Fragments[id].Vias = append(view.Fragments[id].Vias, v)
+		}
+		// Pins: the driver pin on the driver side, all sinks on the sink
+		// side (this router connects every sink below the split).
+		dID := owner[key{netID, route.DriverSide}]
+		view.Fragments[dID].Pins = append(view.Fragments[dID].Pins, net.Driver)
+		sID := owner[key{netID, route.SinkSide}]
+		view.Fragments[sID].Pins = append(view.Fragments[sID].Pins, net.Sinks...)
+	}
+	return view
+}
+
+// Validate cross-checks the view against the challenge's per-v-pin
+// features: every fragment must reach at least one pin, its geometry must
+// stay at or below the split layer, and its wirelength must equal the
+// v-pin's W feature.
+func (view *FEOLView) Validate(c *Challenge) error {
+	if len(view.Fragments) != len(c.VPins) {
+		return fmt.Errorf("split: %d fragments for %d v-pins", len(view.Fragments), len(c.VPins))
+	}
+	for i := range view.Fragments {
+		f := &view.Fragments[i]
+		if f.VPin != i {
+			return fmt.Errorf("split: fragment %d labelled %d", i, f.VPin)
+		}
+		if len(f.Pins) == 0 {
+			return fmt.Errorf("split: fragment %d reaches no cell pins", i)
+		}
+		for _, s := range f.Segments {
+			if s.Layer > view.SplitLayer {
+				return fmt.Errorf("split: fragment %d has segment on M%d above split %d",
+					i, s.Layer, view.SplitLayer)
+			}
+		}
+		for _, v := range f.Vias {
+			if v.Layer >= view.SplitLayer {
+				return fmt.Errorf("split: fragment %d has via at layer %d not below split %d",
+					i, v.Layer, view.SplitLayer)
+			}
+		}
+		if got, want := f.Wirelength(), int64(c.VPins[i].Wirelength); got != want {
+			return fmt.Errorf("split: fragment %d wirelength %d != v-pin W %d", i, got, want)
+		}
+	}
+	seen := make(map[int]bool, len(view.CompleteNets))
+	for _, n := range view.CompleteNets {
+		if seen[n] {
+			return fmt.Errorf("split: net %d listed complete twice", n)
+		}
+		seen[n] = true
+		if c.Design.Routing.Routes[n].TrunkLayer > view.SplitLayer {
+			return fmt.Errorf("split: cut net %d listed as complete", n)
+		}
+	}
+	if len(view.CompleteNets)+c.CutNets() != len(c.Design.Netlist.Nets) {
+		return fmt.Errorf("split: %d complete + %d cut != %d nets",
+			len(view.CompleteNets), c.CutNets(), len(c.Design.Netlist.Nets))
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package split
+
+import (
+	"testing"
+
+	"repro/internal/route"
+)
+
+func TestFEOLViewValidates(t *testing.T) {
+	for _, layer := range []int{4, 6, 8} {
+		c := challenge(t, layer)
+		view := c.FEOL()
+		if err := view.Validate(c); err != nil {
+			t.Fatalf("layer %d: %v", layer, err)
+		}
+	}
+}
+
+func TestFEOLFragmentSides(t *testing.T) {
+	c := challenge(t, 6)
+	view := c.FEOL()
+	nl := c.Design.Netlist
+	for i := range view.Fragments {
+		f := &view.Fragments[i]
+		v := &c.VPins[i]
+		if v.Side == route.DriverSide {
+			if len(f.Pins) != 1 {
+				t.Fatalf("driver fragment %d reaches %d pins, want 1", i, len(f.Pins))
+			}
+			if nl.PinDef(f.Pins[0]).Dir.String() != "output" {
+				t.Fatalf("driver fragment %d ends in non-output pin", i)
+			}
+		} else {
+			for _, p := range f.Pins {
+				if nl.PinDef(p).Dir.String() != "input" {
+					t.Fatalf("sink fragment %d reaches an output pin", i)
+				}
+			}
+			if len(f.Pins) != len(nl.Nets[v.Net].Sinks) {
+				t.Fatalf("sink fragment %d reaches %d pins, want %d",
+					i, len(f.Pins), len(nl.Nets[v.Net].Sinks))
+			}
+		}
+	}
+}
+
+func TestFEOLCompleteNetsShrinkWithLowerSplit(t *testing.T) {
+	// A lower split hides more: fewer nets remain completely visible.
+	n8 := len(challenge(t, 8).FEOL().CompleteNets)
+	n6 := len(challenge(t, 6).FEOL().CompleteNets)
+	n4 := len(challenge(t, 4).FEOL().CompleteNets)
+	if !(n4 < n6 && n6 < n8) {
+		t.Errorf("complete-net counts 4/6/8 = %d/%d/%d not increasing with split height", n4, n6, n8)
+	}
+}
+
+func TestFEOLValidateCatchesCorruption(t *testing.T) {
+	c := challenge(t, 6)
+	view := c.FEOL()
+
+	mutate := func(mut func(v *FEOLView)) error {
+		cp := &FEOLView{
+			SplitLayer:   view.SplitLayer,
+			Fragments:    append([]Fragment(nil), view.Fragments...),
+			CompleteNets: append([]int(nil), view.CompleteNets...),
+		}
+		mut(cp)
+		return cp.Validate(c)
+	}
+
+	if err := mutate(func(v *FEOLView) { v.Fragments[0].Pins = nil }); err == nil {
+		t.Error("pinless fragment not caught")
+	}
+	if err := mutate(func(v *FEOLView) { v.Fragments = v.Fragments[:len(v.Fragments)-1] }); err == nil {
+		t.Error("missing fragment not caught")
+	}
+	if err := mutate(func(v *FEOLView) { v.CompleteNets[0] = c.VPins[0].Net }); err == nil {
+		t.Error("cut net listed complete not caught")
+	}
+	if err := mutate(func(v *FEOLView) {
+		f := v.Fragments[0]
+		// Zero-length so the wirelength check stays satisfied; the layer
+		// check must still reject it.
+		f.Segments = append(append([]route.Segment(nil), f.Segments...),
+			route.Segment{Layer: 9, A: c.VPins[0].Pos, B: c.VPins[0].Pos})
+		v.Fragments[0] = f
+	}); err == nil {
+		t.Error("above-split segment not caught")
+	}
+	if err := mutate(func(v *FEOLView) {
+		f := v.Fragments[0]
+		f.Vias = append(append([]route.Via(nil), f.Vias...),
+			route.Via{Layer: v.SplitLayer, At: c.VPins[0].Pos})
+		v.Fragments[0] = f
+	}); err == nil {
+		t.Error("split-layer via inside fragment not caught")
+	}
+}

@@ -1,0 +1,270 @@
+package split
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/route"
+)
+
+// testDesign caches one generated design for all tests in this package.
+var (
+	testDesignOnce sync.Once
+	testDesignVal  *layout.Design
+)
+
+func testDesign(t *testing.T) *layout.Design {
+	t.Helper()
+	testDesignOnce.Do(func() {
+		p := layout.SuiteProfiles(layout.SuiteConfig{Scale: 0.25, Seed: 11})[0]
+		d, err := layout.Generate(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testDesignVal = d
+	})
+	if testDesignVal == nil {
+		t.Fatal("design generation failed earlier")
+	}
+	return testDesignVal
+}
+
+func challenge(t *testing.T, splitLayer int) *Challenge {
+	t.Helper()
+	c, err := NewChallenge(testDesign(t), splitLayer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestVPinCountMatchesCutNets(t *testing.T) {
+	d := testDesign(t)
+	for _, s := range []int{4, 6, 8} {
+		c := challenge(t, s)
+		wantCut := 0
+		for i := range d.Routing.Routes {
+			if d.Routing.Routes[i].TrunkLayer > s {
+				wantCut++
+			}
+		}
+		if c.CutNets() != wantCut {
+			t.Errorf("split %d: CutNets = %d, want %d", s, c.CutNets(), wantCut)
+		}
+		if len(c.VPins) != 2*wantCut {
+			t.Errorf("split %d: %d v-pins, want %d", s, len(c.VPins), 2*wantCut)
+		}
+	}
+}
+
+func TestVPinPopulationGrowsDownward(t *testing.T) {
+	n8 := len(challenge(t, 8).VPins)
+	n6 := len(challenge(t, 6).VPins)
+	n4 := len(challenge(t, 4).VPins)
+	if !(n4 > n6 && n6 > n8) {
+		t.Errorf("v-pin counts 4/6/8 = %d/%d/%d not decreasing with higher split", n4, n6, n8)
+	}
+}
+
+func TestMatchIsInvolution(t *testing.T) {
+	c := challenge(t, 6)
+	for i := range c.VPins {
+		v := &c.VPins[i]
+		m := &c.VPins[v.Match]
+		if m.Match != v.ID {
+			t.Fatalf("v-pin %d: match %d does not point back", v.ID, v.Match)
+		}
+		if m.Net != v.Net {
+			t.Fatalf("v-pin %d matched across nets %d vs %d", v.ID, v.Net, m.Net)
+		}
+		if m.Side == v.Side {
+			t.Fatalf("v-pin %d matched to same side", v.ID)
+		}
+	}
+}
+
+func TestTopLayerMatchesShareY(t *testing.T) {
+	// At split layer 8 only the horizontal M9 remains above the split, so
+	// every truly matching pair must have DiffVpinY = 0 (paper §III-G).
+	c := challenge(t, 8)
+	for i := range c.VPins {
+		v := &c.VPins[i]
+		m := &c.VPins[v.Match]
+		if v.Pos.Y != m.Pos.Y {
+			t.Fatalf("split 8: matching pair (%d,%d) has DiffVpinY = %d",
+				v.ID, m.ID, (v.Pos.Y - m.Pos.Y).Abs())
+		}
+	}
+}
+
+func TestLowerLayerMatchesUseBothDirections(t *testing.T) {
+	// At split 6, nets with trunks on M8/M9 are cut at their escape
+	// stacks, so some matching pairs must have non-zero DiffVpinY.
+	c := challenge(t, 6)
+	nonzero := 0
+	for i := range c.VPins {
+		v := &c.VPins[i]
+		if v.Pos.Y != c.VPins[v.Match].Pos.Y {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Error("split 6: all matches have DiffVpinY = 0; lower-layer cuts should not be single-direction")
+	}
+}
+
+func TestSideAreas(t *testing.T) {
+	c := challenge(t, 6)
+	for i := range c.VPins {
+		v := &c.VPins[i]
+		if v.Side == route.DriverSide {
+			if v.OutArea <= 0 || v.InArea != 0 {
+				t.Fatalf("driver-side v-pin %d has In/Out = %f/%f", v.ID, v.InArea, v.OutArea)
+			}
+		} else {
+			if v.InArea <= 0 || v.OutArea != 0 {
+				t.Fatalf("sink-side v-pin %d has In/Out = %f/%f", v.ID, v.InArea, v.OutArea)
+			}
+		}
+	}
+}
+
+func TestLegalPair(t *testing.T) {
+	c := challenge(t, 8)
+	var driver, sink *VPin
+	for i := range c.VPins {
+		if c.VPins[i].IsDriverSide() {
+			driver = &c.VPins[i]
+		} else {
+			sink = &c.VPins[i]
+		}
+		if driver != nil && sink != nil {
+			break
+		}
+	}
+	if !LegalPair(driver, sink) || !LegalPair(sink, driver) {
+		t.Error("driver-sink pair must be legal")
+	}
+	if !LegalPair(sink, sink) {
+		t.Error("sink-sink pair is legal (both could be loads of one driver fragment)")
+	}
+	if LegalPair(driver, driver) {
+		t.Error("driver-driver pair must be illegal")
+	}
+}
+
+func TestWirelengthNonNegativeAndPlausible(t *testing.T) {
+	c := challenge(t, 6)
+	for i := range c.VPins {
+		v := &c.VPins[i]
+		if v.Wirelength < 0 {
+			t.Fatalf("v-pin %d negative wirelength", v.ID)
+		}
+	}
+}
+
+func TestVPinsInsideDie(t *testing.T) {
+	for _, s := range []int{4, 6, 8} {
+		c := challenge(t, s)
+		die := c.Design.Die()
+		for i := range c.VPins {
+			if !c.VPins[i].Pos.In(die) {
+				t.Fatalf("split %d: v-pin %d at %v outside die", s, i, c.VPins[i].Pos)
+			}
+		}
+	}
+}
+
+func TestCongestionMeasuresFinite(t *testing.T) {
+	c := challenge(t, 6)
+	for i := range c.VPins {
+		v := &c.VPins[i]
+		if pc := c.PC(v); pc < 0 {
+			t.Fatalf("negative PC for v-pin %d", v.ID)
+		}
+		if rc := c.RC(v); rc < 0 {
+			t.Fatalf("negative RC for v-pin %d", v.ID)
+		}
+	}
+	// RC must see at least the v-pin itself.
+	v := &c.VPins[0]
+	if c.RC(v) == 0 {
+		t.Error("RC at an existing v-pin should be positive")
+	}
+}
+
+func TestNewChallengeRejectsBadLayer(t *testing.T) {
+	d := testDesign(t)
+	for _, s := range []int{0, -1, route.NumVia + 1} {
+		if _, err := NewChallenge(d, s); err == nil {
+			t.Errorf("split layer %d accepted", s)
+		}
+	}
+}
+
+func TestWithNoiseDisplacesOnlyY(t *testing.T) {
+	c := challenge(t, 6)
+	rng := rand.New(rand.NewSource(5))
+	nc := c.WithNoise(0.01, rng)
+	if len(nc.VPins) != len(c.VPins) {
+		t.Fatal("noise changed v-pin count")
+	}
+	moved := 0
+	for i := range c.VPins {
+		if nc.VPins[i].Pos.X != c.VPins[i].Pos.X {
+			t.Fatalf("v-pin %d x changed under y-noise", i)
+		}
+		if nc.VPins[i].Pos.Y != c.VPins[i].Pos.Y {
+			moved++
+		}
+		if nc.VPins[i].Match != c.VPins[i].Match {
+			t.Fatalf("v-pin %d ground truth changed under noise", i)
+		}
+	}
+	if moved < len(c.VPins)/2 {
+		t.Errorf("only %d/%d v-pins moved under 1%% noise", moved, len(c.VPins))
+	}
+	// Original challenge must be untouched.
+	if c.VPins[0].Pos != challenge(t, 6).VPins[0].Pos {
+		t.Error("WithNoise mutated the original challenge")
+	}
+}
+
+func TestWithNoiseZeroSD(t *testing.T) {
+	c := challenge(t, 6)
+	rng := rand.New(rand.NewSource(6))
+	nc := c.WithNoise(0, rng)
+	for i := range c.VPins {
+		if nc.VPins[i].Pos != c.VPins[i].Pos {
+			t.Fatalf("v-pin %d moved under zero noise", i)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c := challenge(t, 8)
+	s := c.Summary()
+	if s.Design != c.Design.Name || s.SplitLayer != 8 {
+		t.Error("summary identity fields wrong")
+	}
+	if s.VPins != len(c.VPins) || s.CutNets != len(c.VPins)/2 {
+		t.Error("summary counts wrong")
+	}
+	if s.MeanMatchDist <= 0 {
+		t.Error("mean match distance should be positive")
+	}
+}
+
+func TestEveryFragmentReachesPins(t *testing.T) {
+	// The paper's model: each v-pin connects through its FEOL fragment to
+	// one or more standard-cell pins; PinLoc must be inside the die.
+	c := challenge(t, 4)
+	die := c.Design.Die()
+	for i := range c.VPins {
+		if !c.VPins[i].PinLoc.In(die) {
+			t.Fatalf("v-pin %d PinLoc %v outside die", i, c.VPins[i].PinLoc)
+		}
+	}
+}

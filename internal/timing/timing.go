@@ -1,0 +1,225 @@
+// Package timing provides a static timing model over routed nets: per-layer
+// wire RC derived from the fabric's wire widths, a drive-strength-based
+// driver model, and Elmore delay estimation along each net's routed path.
+//
+// The paper's TotalWirelength / TotalCellArea / DiffCellArea features exist
+// because "the wirelength of each net impacts timing" and "each cell has a
+// maximum output load that it can drive" (§III-A/B). This package makes
+// that physics explicit: it quantifies the delay of every routed net, lets
+// tests assert that the synthetic fabric behaves like a real one (wide top
+// layers are faster per unit length), and prices obfuscation transforms in
+// delay as well as wirelength.
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/layout"
+	"repro/internal/route"
+)
+
+// Technology constants. Units are arbitrary but consistent: resistance in
+// ohms, capacitance in femtofarads, length in database units; delays come
+// out in ohm*fF = femtoseconds-scale units, reported as float64.
+const (
+	// sheetRes is the metal sheet resistance in ohm/square: the wire
+	// resistance per unit length is sheetRes / width.
+	sheetRes = 2.0
+	// areaCapPerDBU2 is capacitance per unit wire area; wider wires have
+	// proportionally more plate capacitance.
+	areaCapPerDBU2 = 0.00002
+	// fringeCapPerDBU is the width-independent fringe capacitance per unit
+	// length.
+	fringeCapPerDBU = 0.004
+	// ViaRes is the resistance of a single via cut.
+	ViaRes = 4.0
+	// pinCap is the input capacitance of one standard-cell pin.
+	pinCap = 1.2
+	// driverBaseRes is the output resistance of a drive-1 cell; stronger
+	// drivers scale it down.
+	driverBaseRes = 2400.0
+)
+
+// WireRes returns the resistance per database unit of metal layer m. Upper
+// layers are wider and therefore less resistive — the reason routers put
+// long nets there, and the reason our layer assignment by length is
+// physically sensible.
+func WireRes(m int) float64 {
+	return sheetRes / float64(route.WireWidth(m))
+}
+
+// WireCap returns the capacitance per database unit of metal layer m.
+func WireCap(m int) float64 {
+	return areaCapPerDBU2*float64(route.WireWidth(m)) + fringeCapPerDBU
+}
+
+// DriverRes returns the output resistance of a driver with the given
+// drive strength.
+func DriverRes(drive int) float64 {
+	if drive < 1 {
+		drive = 1
+	}
+	return driverBaseRes / float64(drive)
+}
+
+// NetTiming is the timing summary of one routed net.
+type NetTiming struct {
+	Net int
+	// Delay is the Elmore delay from the driver output to the farthest
+	// sink along the routed path.
+	Delay float64
+	// WireCap is the total routed wire capacitance.
+	WireCap float64
+	// LoadCap is the total capacitance the driver sees (wire + sink pins).
+	LoadCap float64
+	// DriveRes is the driver's output resistance.
+	DriveRes float64
+}
+
+// pathStage is one resistive stage of the driver-to-sink path with the
+// capacitance attached at its far end.
+type pathStage struct {
+	res, cap float64
+}
+
+// AnalyzeNet computes the Elmore delay of one net. The routed topology is
+// approximated as a single path driver → escape stack → feeder → trunk →
+// feeder → stack → sink subtree, which is exactly how the router builds
+// nets; sink-side local wiring and pin loads lump at the far end.
+func AnalyzeNet(d *layout.Design, netID int) NetTiming {
+	nl := d.Netlist
+	rt := &d.Routing.Routes[netID]
+	net := &nl.Nets[netID]
+
+	nt := NetTiming{
+		Net:      netID,
+		DriveRes: DriverRes(nl.Kind(net.Driver.Cell).Drive),
+	}
+
+	// Partition wire RC into driver-side, trunk, and sink-side stages.
+	// Trunk-layer segments (including obfuscation jogs, whichever side
+	// label they carry) belong to the trunk stage so nothing is counted
+	// twice; the path ordering is driver-local, trunk, sink-local.
+	var stages []pathStage
+	var trunkRes, trunkCap float64
+	var drvRes, drvCap float64
+	var sinkCapOnly float64
+	for _, s := range rt.Segments {
+		l := float64(s.Len())
+		if s.Layer == rt.TrunkLayer && rt.TrunkLayer > 2 {
+			trunkRes += l * WireRes(s.Layer)
+			trunkCap += l * WireCap(s.Layer)
+			continue
+		}
+		if s.Side == route.DriverSide {
+			drvRes += l * WireRes(s.Layer)
+			drvCap += l * WireCap(s.Layer)
+		} else {
+			sinkCapOnly += l * WireCap(s.Layer)
+		}
+	}
+
+	// Via stacks: count vias per side.
+	var drvVias, sinkVias int
+	for _, v := range rt.Vias {
+		if v.Side == route.DriverSide {
+			drvVias++
+		} else {
+			sinkVias++
+		}
+	}
+
+	var sinkRes float64
+	for _, s := range rt.Segments {
+		if s.Side == route.SinkSide && !(s.Layer == rt.TrunkLayer && rt.TrunkLayer > 2) {
+			sinkRes += float64(s.Len()) * WireRes(s.Layer)
+		}
+	}
+
+	pins := float64(len(net.Sinks)) * pinCap
+	nt.WireCap = drvCap + trunkCap + sinkCapOnly
+	nt.LoadCap = nt.WireCap + pins
+
+	stages = []pathStage{
+		{res: drvRes + float64(drvVias)*ViaRes, cap: drvCap},
+		{res: trunkRes, cap: trunkCap},
+		{res: sinkRes + float64(sinkVias)*ViaRes, cap: sinkCapOnly + pins},
+	}
+
+	// Elmore: driver resistance charges everything; each stage's
+	// resistance charges the capacitance downstream of it (approximating
+	// distributed wire RC with the standard 1/2 factor on own-stage cap).
+	total := nt.LoadCap
+	delay := nt.DriveRes * total
+	downstream := total
+	for _, st := range stages {
+		delay += st.res * (downstream - st.cap/2)
+		downstream -= st.cap
+	}
+	nt.Delay = delay
+	return nt
+}
+
+// DesignTiming summarises a design's nets.
+type DesignTiming struct {
+	// MaxDelay is the slowest net (critical-net proxy).
+	MaxDelay float64
+	// MeanDelay averages all nets.
+	MeanDelay float64
+	// WorstNet is the ID of the slowest net.
+	WorstNet int
+	// OverloadedDrivers counts nets whose load exceeds the driver's
+	// nominal capability (load cap > drive * maxLoadPerDrive).
+	OverloadedDrivers int
+}
+
+// maxLoadPerDrive is the nominal load capacitance one unit of drive
+// strength supports.
+const maxLoadPerDrive = 220.0
+
+// Analyze runs the timing model over every net of the design.
+func Analyze(d *layout.Design) DesignTiming {
+	var out DesignTiming
+	out.WorstNet = -1
+	var sum float64
+	for i := range d.Netlist.Nets {
+		nt := AnalyzeNet(d, i)
+		sum += nt.Delay
+		if nt.Delay > out.MaxDelay {
+			out.MaxDelay = nt.Delay
+			out.WorstNet = i
+		}
+		drive := d.Netlist.Kind(d.Netlist.Nets[i].Driver.Cell).Drive
+		if nt.LoadCap > float64(drive)*maxLoadPerDrive {
+			out.OverloadedDrivers++
+		}
+	}
+	if n := len(d.Netlist.Nets); n > 0 {
+		out.MeanDelay = sum / float64(n)
+	}
+	return out
+}
+
+// Overhead compares two timing summaries (e.g. before and after an
+// obfuscation transform) and returns the relative mean-delay increase.
+func Overhead(before, after DesignTiming) float64 {
+	if before.MeanDelay == 0 {
+		return 0
+	}
+	return (after.MeanDelay - before.MeanDelay) / before.MeanDelay
+}
+
+// CheckSane validates the technology model's internal consistency; it is
+// exercised by tests and returns an error description or nil.
+func CheckSane() error {
+	for m := 1; m < route.NumMetal; m++ {
+		if WireRes(m+1) > WireRes(m) {
+			return fmt.Errorf("timing: M%d more resistive than M%d", m+1, m)
+		}
+	}
+	if math.IsNaN(DriverRes(1)) || DriverRes(4) >= DriverRes(1) {
+		return fmt.Errorf("timing: driver resistance not decreasing with drive")
+	}
+	return nil
+}

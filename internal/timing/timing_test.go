@@ -1,0 +1,178 @@
+package timing
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/obfuscate"
+	"repro/internal/route"
+)
+
+var (
+	tmOnce   sync.Once
+	tmErr    error
+	tmDesign *layout.Design
+)
+
+func design(t *testing.T) *layout.Design {
+	t.Helper()
+	tmOnce.Do(func() {
+		p := layout.SuiteProfiles(layout.SuiteConfig{Scale: 0.25, Seed: 41})[0]
+		tmDesign, tmErr = layout.Generate(p)
+	})
+	if tmErr != nil {
+		t.Fatal(tmErr)
+	}
+	return tmDesign
+}
+
+func TestTechnologySane(t *testing.T) {
+	if err := CheckSane(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpperLayersFasterPerUnitLength(t *testing.T) {
+	// The whole point of fat top-layer wires: R*C per unit length must
+	// drop toward the top, otherwise promoting long nets would be wrong.
+	for m := 1; m < route.NumMetal; m++ {
+		rc1 := WireRes(m) * WireCap(m)
+		rc2 := WireRes(m+1) * WireCap(m+1)
+		if rc2 > rc1 {
+			t.Errorf("RC per DBU rises from M%d (%.3g) to M%d (%.3g)", m, rc1, m+1, rc2)
+		}
+	}
+}
+
+func TestDriverResScaling(t *testing.T) {
+	if DriverRes(2) >= DriverRes(1) || DriverRes(4) >= DriverRes(2) {
+		t.Error("driver resistance must fall with drive strength")
+	}
+	if DriverRes(0) != DriverRes(1) {
+		t.Error("degenerate drive must clamp to 1")
+	}
+}
+
+func TestNetDelaysPositive(t *testing.T) {
+	d := design(t)
+	for i := range d.Netlist.Nets {
+		nt := AnalyzeNet(d, i)
+		if nt.Delay <= 0 {
+			t.Fatalf("net %d delay %f not positive", i, nt.Delay)
+		}
+		if nt.LoadCap < nt.WireCap {
+			t.Fatalf("net %d load cap below wire cap", i)
+		}
+		if nt.WireCap < 0 {
+			t.Fatalf("net %d negative wire cap", i)
+		}
+	}
+}
+
+func TestLongerNetsSlower(t *testing.T) {
+	// Among same-drive nets, the top decile by wirelength must be slower
+	// on average than the bottom decile.
+	d := design(t)
+	type nd struct{ wl, delay float64 }
+	var xs []nd
+	for i := range d.Netlist.Nets {
+		if d.Netlist.Kind(d.Netlist.Nets[i].Driver.Cell).Drive != 1 {
+			continue
+		}
+		nt := AnalyzeNet(d, i)
+		xs = append(xs, nd{float64(d.Routing.Routes[i].Wirelength()), nt.Delay})
+	}
+	if len(xs) < 50 {
+		t.Skip("not enough drive-1 nets")
+	}
+	var shortSum, shortN, longSum, longN float64
+	// Median split by wirelength.
+	var median float64
+	{
+		var tot float64
+		for _, x := range xs {
+			tot += x.wl
+		}
+		median = tot / float64(len(xs))
+	}
+	for _, x := range xs {
+		if x.wl < median/2 {
+			shortSum += x.delay
+			shortN++
+		} else if x.wl > median*2 {
+			longSum += x.delay
+			longN++
+		}
+	}
+	if shortN == 0 || longN == 0 {
+		t.Skip("degenerate wirelength distribution")
+	}
+	if longSum/longN <= shortSum/shortN {
+		t.Errorf("long nets (%.0f) not slower than short nets (%.0f)",
+			longSum/longN, shortSum/shortN)
+	}
+}
+
+func TestAnalyzeSummary(t *testing.T) {
+	d := design(t)
+	dt := Analyze(d)
+	if dt.MaxDelay < dt.MeanDelay {
+		t.Error("max delay below mean delay")
+	}
+	if dt.WorstNet < 0 || dt.WorstNet >= len(d.Netlist.Nets) {
+		t.Errorf("worst net ID %d out of range", dt.WorstNet)
+	}
+	worst := AnalyzeNet(d, dt.WorstNet)
+	if worst.Delay != dt.MaxDelay {
+		t.Errorf("worst net delay %f != max %f", worst.Delay, dt.MaxDelay)
+	}
+	// Drive-aware net generation keeps overload rare.
+	frac := float64(dt.OverloadedDrivers) / float64(len(d.Netlist.Nets))
+	if frac > 0.25 {
+		t.Errorf("%.1f%% of drivers overloaded; drive/reach correlation broken", frac*100)
+	}
+}
+
+func TestObfuscationDelayOverhead(t *testing.T) {
+	d := design(t)
+	before := Analyze(d)
+	nd, _, err := obfuscate.PerturbRoutes(d, 6, 3.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Analyze(nd)
+	oh := Overhead(before, after)
+	if oh < -0.02 {
+		t.Errorf("perturbation made the design faster by %.2f%%?", -oh*100)
+	}
+	if oh > 0.30 {
+		t.Errorf("perturbation delay overhead %.1f%% implausible", oh*100)
+	}
+}
+
+func TestOverheadDegenerate(t *testing.T) {
+	if Overhead(DesignTiming{}, DesignTiming{MeanDelay: 5}) != 0 {
+		t.Error("zero-baseline overhead must be 0")
+	}
+}
+
+func TestJoggedRoutesNotDoubleCounted(t *testing.T) {
+	// Trunk jogs add one short trunk-layer segment; the capacitance change
+	// must be commensurate with the added wirelength, not double it.
+	d := design(t)
+	nd, cost, err := obfuscate.JogTrunks(d, 6, 2, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Analyze(d)
+	after := Analyze(nd)
+	capRatio := Overhead(before, after)
+	wlRatio := cost.Overhead()
+	// Delay grows superlinearly with length, but a jog of x% wirelength
+	// cannot plausibly add more than ~5x% mean delay.
+	if capRatio > 5*wlRatio+0.01 {
+		t.Errorf("delay overhead %.4f disproportionate to wirelength overhead %.4f",
+			capRatio, wlRatio)
+	}
+}

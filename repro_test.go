@@ -1,0 +1,171 @@
+package repro
+
+// Integration tests of the public facade: the complete pipeline a
+// downstream user runs — generate, split, attack, proximity-attack —
+// exercised end to end at a small scale.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/route"
+)
+
+var (
+	intOnce    sync.Once
+	intErr     error
+	intDesigns []*Design
+	intChs     []*Challenge // split layer 8
+)
+
+func fixtures(t *testing.T) ([]*Design, []*Challenge) {
+	t.Helper()
+	intOnce.Do(func() {
+		intDesigns, intErr = GenerateSuite(SuiteConfig{Scale: 0.2, Seed: 17})
+		if intErr != nil {
+			return
+		}
+		intChs, intErr = SplitAll(intDesigns, 8)
+	})
+	if intErr != nil {
+		t.Fatal(intErr)
+	}
+	return intDesigns, intChs
+}
+
+func TestGenerateSuiteFacade(t *testing.T) {
+	designs, _ := fixtures(t)
+	if len(designs) != 5 {
+		t.Fatalf("suite has %d designs", len(designs))
+	}
+	names := map[string]bool{}
+	for _, d := range designs {
+		names[d.Name] = true
+		if err := d.Netlist.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+	for _, want := range []string{"sb1", "sb5", "sb10", "sb12", "sb18"} {
+		if !names[want] {
+			t.Errorf("design %s missing", want)
+		}
+	}
+}
+
+func TestSuiteProfilesEditable(t *testing.T) {
+	profiles := SuiteProfiles(SuiteConfig{Scale: 0.1, Seed: 2})
+	profiles[0].NumMacros = 0
+	d, err := GenerateDesign(profiles[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range d.Netlist.Cells {
+		if c.Kind.Macro {
+			t.Fatal("macro generated despite NumMacros=0")
+		}
+	}
+}
+
+func TestSplitFacade(t *testing.T) {
+	designs, chs := fixtures(t)
+	if len(chs) != len(designs) {
+		t.Fatalf("%d challenges for %d designs", len(chs), len(designs))
+	}
+	if _, err := Split(designs[0], 0); err == nil {
+		t.Error("invalid split layer accepted")
+	}
+	if _, err := Split(designs[0], route.NumVia); err != nil {
+		t.Errorf("top via layer rejected: %v", err)
+	}
+}
+
+func TestEndToEndAttack(t *testing.T) {
+	_, chs := fixtures(t)
+	res, err := RunAttack(Imp11(), chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc float64
+	for _, ev := range res.Evals {
+		acc += ev.AccuracyAtK(10)
+	}
+	acc /= float64(len(res.Evals))
+	if acc < 0.6 {
+		t.Errorf("end-to-end layer-8 accuracy@10 = %.3f, expected a strong attack", acc)
+	}
+}
+
+func TestEndToEndProximity(t *testing.T) {
+	_, chs := fixtures(t)
+	outs, err := RunProximityAttack(WithY(Imp9()), chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(chs) {
+		t.Fatalf("%d outcomes", len(outs))
+	}
+	var sum float64
+	for _, o := range outs {
+		sum += o.Success
+	}
+	// The PA must do far better than random guessing (1/n).
+	if sum/float64(len(outs)) < 0.05 {
+		t.Errorf("mean PA success %.3f implausibly low", sum/float64(len(outs)))
+	}
+}
+
+func TestCurveFacade(t *testing.T) {
+	_, chs := fixtures(t)
+	res, err := RunAttack(Imp9(), chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := Curve(res, nil)
+	if len(pts) == 0 {
+		t.Fatal("empty default curve")
+	}
+	prev := -1.0
+	for _, p := range pts {
+		if p.LoCFrac <= prev {
+			t.Error("curve fractions not increasing")
+		}
+		prev = p.LoCFrac
+		if p.Accuracy < 0 || p.Accuracy > 1 {
+			t.Errorf("curve accuracy %.3f out of range", p.Accuracy)
+		}
+	}
+	custom := Curve(res, []float64{0.01, 0.05})
+	if len(custom) != 2 {
+		t.Errorf("custom grid ignored")
+	}
+}
+
+func TestConfigConstructors(t *testing.T) {
+	if ML9().Name != "ML-9" || Imp9().Name != "Imp-9" ||
+		Imp7().Name != "Imp-7" || Imp11().Name != "Imp-11" {
+		t.Error("config names wrong")
+	}
+	if y := WithY(Imp11()); y.Name != "Imp-11Y" || !y.LimitDiffVpinY {
+		t.Error("WithY wrong")
+	}
+	if tl := WithTwoLevel(Imp11()); !tl.TwoLevel {
+		t.Error("WithTwoLevel wrong")
+	}
+	if rf := WithRandomForest(Imp7(), 0); rf.NumTrees != 0 || rf.BaseKind == 0 {
+		// BaseKind RandomTree is non-zero; NumTrees 0 means Weka default.
+		t.Error("WithRandomForest wrong")
+	}
+}
+
+func TestObfuscationFacade(t *testing.T) {
+	_, chs := fixtures(t)
+	rng := rand.New(rand.NewSource(5))
+	noised := chs[0].WithNoise(0.01, rng)
+	if noised == chs[0] {
+		t.Fatal("WithNoise returned the original")
+	}
+	if len(noised.VPins) != len(chs[0].VPins) {
+		t.Fatal("noise changed the v-pin count")
+	}
+}
