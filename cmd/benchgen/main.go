@@ -1,6 +1,11 @@
 // Command benchgen generates the synthetic benchmark suite and prints its
 // vital statistics: per-design sizes, trunk-layer populations, and v-pin
 // counts per split layer — the quantities that determine attack difficulty.
+//
+// Observability is opt-in: -v streams structured span logs to stderr
+// (-log-format text|json), -report writes a JSON run report with
+// per-design generation spans, -metrics dumps the metrics registry, and
+// -cpuprofile/-memprofile capture pprof profiles.
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/route"
 	"repro/internal/split"
 	"repro/internal/timing"
@@ -20,9 +26,21 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "suite scale factor")
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("o", "", "directory to write <design>.sml files to")
+	var cli obs.CLI
+	cli.Register(flag.CommandLine)
 	flag.Parse()
 
-	designs, err := layout.GenerateSuite(layout.SuiteConfig{Scale: *scale, Seed: *seed})
+	if cli.ShowVersion {
+		fmt.Println("benchgen", obs.Version())
+		return
+	}
+	o, err := cli.Setup("benchgen")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Scale: *scale, Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -51,22 +69,28 @@ func main() {
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 2, 2, ' ', 0)
 	fmt.Fprintln(tw, "design\tcells\tnets\tdie\tvpins@8\tvpins@6\tvpins@4\tmeanMatchDist@6")
+	designStats := []map[string]any{}
 	for _, d := range designs {
 		row := fmt.Sprintf("%s\t%d\t%d\t%dx%d", d.Name,
 			len(d.Netlist.Cells), len(d.Netlist.Nets), d.Die().Width(), d.Die().Height())
+		stats := map[string]any{
+			"name": d.Name, "cells": len(d.Netlist.Cells), "nets": len(d.Netlist.Nets),
+		}
 		var dist6 float64
 		for _, layer := range []int{8, 6, 4} {
-			ch, err := split.NewChallenge(d, layer)
+			ch, err := split.NewChallengeObs(o, d, layer)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			row += fmt.Sprintf("\t%d", len(ch.VPins))
+			stats[fmt.Sprintf("vpins@%d", layer)] = len(ch.VPins)
 			if layer == 6 {
 				dist6 = ch.Summary().MeanMatchDist
 			}
 		}
 		fmt.Fprintf(tw, "%s\t%.0f\n", row, dist6)
+		designStats = append(designStats, stats)
 	}
 	tw.Flush()
 
@@ -98,4 +122,11 @@ func main() {
 		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%d\n", d.Name, dt.MeanDelay, dt.MaxDelay, dt.OverloadedDrivers)
 	}
 	tw.Flush()
+
+	configMap := map[string]any{"scale": *scale, "seed": *seed}
+	summary := map[string]any{"designs": designStats}
+	if err := cli.Finish(o, configMap, summary); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -7,6 +7,11 @@
 //
 // Scale 1.0 corresponds to roughly 1/20th of the paper's industrial
 // designs (see DESIGN.md); smaller scales run faster with noisier numbers.
+//
+// Observability is opt-in: -v streams structured span logs to stderr
+// (-log-format text|json), -report writes a JSON run report with
+// per-experiment spans and suite-cache metrics, -metrics dumps the metrics
+// registry, and -cpuprofile/-memprofile capture pprof profiles.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -24,13 +30,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation and attack seed")
 	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	var cli obs.CLI
+	cli.Register(flag.CommandLine)
 	flag.Parse()
 
+	if cli.ShowVersion {
+		fmt.Println("experiments", obs.Version())
+		return
+	}
 	if *list {
 		for _, e := range experiments.AllWithExtensions() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+	o, err := cli.Setup("experiments")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	var selected []experiments.Experiment
@@ -52,7 +69,7 @@ func main() {
 
 	fmt.Printf("Generating benchmark suite (scale %.2f, seed %d)...\n", *scale, *seed)
 	t0 := time.Now()
-	suite, err := experiments.NewSuite(*scale, *seed)
+	suite, err := experiments.NewSuiteObs(o, *scale, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -62,13 +79,25 @@ func main() {
 	}
 	fmt.Printf("Suite ready in %v.\n\n", time.Since(t0).Round(time.Millisecond))
 
+	ran := []string{}
+	durations := map[string]any{}
 	for _, e := range selected {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		t := time.Now()
-		if err := e.Run(suite, os.Stdout); err != nil {
+		if err := experiments.RunExperiment(suite, e, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(t).Round(time.Millisecond))
+		d := time.Since(t)
+		fmt.Printf("(%s finished in %v)\n\n", e.ID, d.Round(time.Millisecond))
+		ran = append(ran, e.ID)
+		durations[e.ID+"_ns"] = int64(d)
+	}
+
+	configMap := map[string]any{"scale": *scale, "seed": *seed, "run": *run}
+	summary := map[string]any{"experiments": ran, "experiment_durations": durations}
+	if err := cli.Finish(o, configMap, summary); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }

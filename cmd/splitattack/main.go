@@ -2,6 +2,12 @@
 // benchmark suite, cuts every design at the chosen split layer, trains on
 // all designs except the target, and reports the target's LoC/accuracy
 // trade-off and proximity-attack results.
+//
+// Observability is opt-in: -v streams structured span logs to stderr
+// (-log-format text|json), -report writes a machine-readable JSON run
+// report, -metrics dumps the metrics registry, and -cpuprofile/-memprofile
+// capture pprof profiles. Without these flags the output and the work done
+// are identical to an uninstrumented run.
 package main
 
 import (
@@ -9,10 +15,12 @@ import (
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/layout"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/split"
 )
 
@@ -24,7 +32,18 @@ func main() {
 	config := flag.String("config", "Imp-11", "attack configuration: ML-9 Imp-9 Imp-7 Imp-11 (+Y suffix at layer 8)")
 	base := flag.String("base", "reptree", "bagging base classifier: reptree or randomtree")
 	pa := flag.Bool("pa", false, "also run the validation-based proximity attack")
+	var cli obs.CLI
+	cli.Register(flag.CommandLine)
 	flag.Parse()
+
+	if cli.ShowVersion {
+		fmt.Println("splitattack", obs.Version())
+		return
+	}
+	o, err := cli.Setup("splitattack")
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg, ok := configByName(*config)
 	if !ok {
@@ -35,15 +54,16 @@ func main() {
 		cfg = attack.WithBase(cfg, ml.RandomTree, 0)
 	}
 	cfg.Seed = *seed
+	cfg.Obs = o
 
-	designs, err := layout.GenerateSuite(layout.SuiteConfig{Scale: *scale, Seed: *seed})
+	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Scale: *scale, Seed: *seed})
 	if err != nil {
 		fatal(err)
 	}
 	target := -1
 	chs := make([]*split.Challenge, len(designs))
 	for i, d := range designs {
-		if chs[i], err = split.NewChallenge(d, *layer); err != nil {
+		if chs[i], err = split.NewChallengeObs(o, d, *layer); err != nil {
 			fatal(err)
 		}
 		if d.Name == *design {
@@ -55,21 +75,30 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := attack.Run(cfg, chs)
+	// Single-target entry point: only the held-out design's model is
+	// trained, instead of the full leave-one-out sweep over all designs.
+	ev, radiusNorm, err := attack.RunTarget(cfg, chs, target)
 	if err != nil {
 		fatal(err)
 	}
-	ev := res.Evals[target]
 	fmt.Printf("%s at split layer %d, config %s: %d v-pins\n", *design, *layer, cfg.Name, ev.N)
 	fmt.Printf("train %v, test %v\n\n", ev.TrainDur.Round(1e6), ev.TestDur.Round(1e6))
+	if cli.Verbose {
+		ph := ev.Phases
+		fmt.Printf("phases: sampling %v, level-1 %v, level-2 %v, scoring %v (%d pairs)\n\n",
+			ph.Sampling.Round(1e6), ph.Level1.Round(1e6), ph.Level2.Round(1e6),
+			ph.Scoring.Round(1e6), ev.PairsScored)
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 2, 2, ' ', 0)
 	fmt.Fprintln(tw, "|LoC|\taccuracy")
+	accAtK := map[string]any{}
 	for _, k := range []int{1, 2, 5, 10, 20, 50, 100} {
 		if k > ev.N {
 			break
 		}
 		fmt.Fprintf(tw, "%d\t%.2f%%\n", k, ev.AccuracyAtK(k)*100)
+		accAtK[fmt.Sprintf("%d", k)] = ev.AccuracyAtK(k)
 	}
 	tw.Flush()
 	fmt.Printf("max accuracy (all scored candidates): %.2f%%\n", ev.MaxAccuracy()*100)
@@ -82,15 +111,55 @@ func main() {
 		}
 	}
 
+	summary := map[string]any{
+		"vpins":         ev.N,
+		"train_ns":      int64(ev.TrainDur),
+		"test_ns":       int64(ev.TestDur),
+		"pairs_scored":  ev.PairsScored,
+		"max_accuracy":  ev.MaxAccuracy(),
+		"accuracy_at_k": accAtK,
+		"phases": map[string]any{
+			"sampling_ns": int64(ev.Phases.Sampling),
+			"level1_ns":   int64(ev.Phases.Level1),
+			"level2_ns":   int64(ev.Phases.Level2),
+			"scoring_ns":  int64(ev.Phases.Scoring),
+		},
+	}
+
 	if *pa {
 		fmt.Println("\nProximity attack (validation-based PA-LoC fraction):")
-		outs, err := attack.RunProximity(cfg, chs)
+		out, err := attack.ProximityTarget(cfg, chs, target, ev, radiusNorm)
 		if err != nil {
 			fatal(err)
 		}
-		o := outs[target]
 		fmt.Printf("success %.2f%% (fixed-threshold: %.2f%%), PA-LoC fraction %.4f, validation %v\n",
-			o.Success*100, o.FixedSuccess*100, o.BestFrac, o.ValidationDur.Round(1e6))
+			out.Success*100, out.FixedSuccess*100, out.BestFrac, out.ValidationDur.Round(time.Millisecond))
+		summary["pa"] = map[string]any{
+			"success":       out.Success,
+			"fixed_success": out.FixedSuccess,
+			"best_frac":     out.BestFrac,
+		}
+	}
+
+	trees := cfg.NumTrees
+	if trees == 0 {
+		if cfg.BaseKind == ml.RandomTree {
+			trees = ml.DefaultForestSize
+		} else {
+			trees = ml.DefaultBaggingSize
+		}
+	}
+	configMap := map[string]any{
+		"design": *design,
+		"layer":  *layer,
+		"config": cfg.Name,
+		"scale":  *scale,
+		"seed":   *seed,
+		"base":   *base,
+		"trees":  trees,
+	}
+	if err := cli.Finish(o, configMap, summary); err != nil {
+		fatal(err)
 	}
 }
 

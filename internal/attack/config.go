@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/features"
 	"repro/internal/ml"
+	"repro/internal/obs"
 )
 
 // Config selects one of the paper's model configurations.
@@ -57,6 +58,10 @@ type Config struct {
 	Learner Learner
 	// Seed drives all randomness of a run.
 	Seed int64
+	// Obs, when non-nil, receives structured logs, per-phase spans, and
+	// metrics from every stage of the run. A nil Obs disables all
+	// instrumentation at no cost.
+	Obs *obs.Context
 }
 
 // Scorer is the classifier interface the attack engine consumes: a

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/features"
@@ -47,6 +48,24 @@ type Evaluation struct {
 	// TrainDur and TestDur are the wall-clock durations of model training
 	// and candidate scoring.
 	TrainDur, TestDur time.Duration
+	// Phases breaks the run into its pipeline stages; the training phases
+	// sum to TrainDur and Scoring equals TestDur (up to clock granularity).
+	Phases Phases
+	// PairsScored counts the candidate pairs evaluated by the model.
+	PairsScored int64
+}
+
+// Phases is the per-stage wall-clock breakdown of one target's attack run.
+type Phases struct {
+	// Sampling is training-set generation (§III-B sampling plus the Imp
+	// neighborhood radius computation consumers fold into TrainDur).
+	Sampling time.Duration `json:"sampling_ns"`
+	// Level1 is the level-1 ensemble training.
+	Level1 time.Duration `json:"level1_ns"`
+	// Level2 is the two-level-pruning model training (0 without TwoLevel).
+	Level2 time.Duration `json:"level2_ns"`
+	// Scoring is candidate scoring of the held-out design (== TestDur).
+	Scoring time.Duration `json:"scoring_ns"`
 }
 
 // candHeap is a bounded min-heap on P, keeping the top-cap candidates.
@@ -168,12 +187,15 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 		return lo, hi
 	}
 
+	var pairsScored int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			row := make([]float64, features.NumFeatures)
+			var pairs int64
+			defer func() { atomic.AddInt64(&pairsScored, pairs) }()
 			for {
 				lo, hi := take(16)
 				if lo == hi {
@@ -189,6 +211,7 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 						}
 						inst.Ex.Pair(a, b, row)
 						p := float32(model.Prob(row))
+						pairs++
 						if b == m {
 							ev.TruthP[a] = p
 						}
@@ -210,6 +233,8 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 		}()
 	}
 	wg.Wait()
+	ev.PairsScored = pairsScored
 	ev.TestDur = time.Since(start)
+	ev.Phases.Scoring = ev.TestDur
 	return ev
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/split"
 )
 
@@ -135,36 +136,83 @@ func RunProximityOn(cfg Config, chs []*split.Challenge, prior *Result) ([]PAOutc
 	if prior != nil && len(prior.Evals) != len(chs) {
 		return nil, fmt.Errorf("attack: prior result covers %d designs, want %d", len(prior.Evals), len(chs))
 	}
+	o := cfg.Obs
+	root := o.Begin("attack.pa", obs.F("config", cfg.Name), obs.F("designs", len(chs)))
+	defer root.End()
 	insts := NewInstances(chs)
 	outcomes := make([]PAOutcome, len(insts))
 	for target := range insts {
 		rng := rand.New(rand.NewSource(cfg.Seed + 31 + int64(target)*104729))
 		var ev *Evaluation
 		var radiusNorm float64
+		tsp := root.Begin("pa-target", obs.F("design", insts[target].Ch.Design.Name))
 		if prior != nil {
 			ev = prior.Evals[target]
 			radiusNorm = prior.RadiusNorm[target]
 		} else {
 			var err error
-			ev, radiusNorm, err = runTarget(cfg, insts, target, rng)
+			ev, radiusNorm, err = runTarget(cfg, insts, target, rng, tsp)
 			if err != nil {
+				tsp.End()
 				return nil, err
 			}
 		}
 
-		v0 := time.Now()
-		bestFrac := validatePAFraction(cfg, others(insts, target), radiusNorm, rng)
-		valDur := time.Since(v0)
-
-		outcomes[target] = PAOutcome{
-			Design:        insts[target].Ch.Design.Name,
-			Success:       ev.ProximitySuccess(bestFrac, rng),
-			FixedSuccess:  ev.fixedThresholdPA(rng),
-			BestFrac:      bestFrac,
-			ValidationDur: valDur,
-		}
+		outcomes[target] = paTarget(cfg, insts, target, ev, radiusNorm, rng, tsp)
+		tsp.End()
 	}
 	return outcomes, nil
+}
+
+// paTarget runs the validation stage for one target and assembles its
+// outcome from an already-scored evaluation.
+func paTarget(cfg Config, insts []*Instance, target int, ev *Evaluation,
+	radiusNorm float64, rng *rand.Rand, sp *obs.Span) PAOutcome {
+
+	v0 := time.Now()
+	vsp := sp.Begin("validation")
+	bestFrac := validatePAFraction(cfg, others(insts, target), radiusNorm, rng)
+	vsp.SetAttr("best_frac", bestFrac)
+	vsp.End()
+	valDur := time.Since(v0)
+
+	out := PAOutcome{
+		Design:        insts[target].Ch.Design.Name,
+		Success:       ev.ProximitySuccess(bestFrac, rng),
+		FixedSuccess:  ev.fixedThresholdPA(rng),
+		BestFrac:      bestFrac,
+		ValidationDur: valDur,
+	}
+	sp.SetAttr("success", out.Success)
+	sp.SetAttr("fixed_success", out.FixedSuccess)
+	return out
+}
+
+// ProximityTarget runs the validation-based proximity attack for the single
+// design at index target, reusing its already-scored evaluation and
+// neighborhood radius from RunTarget (or from a full Run). Only the PA-LoC
+// validation stage is new work — the sibling targets' models are never
+// trained, matching the candidate-reuse semantics of RunProximityOn.
+func ProximityTarget(cfg Config, chs []*split.Challenge, target int, ev *Evaluation, radiusNorm float64) (PAOutcome, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return PAOutcome{}, err
+	}
+	if len(chs) < 2 {
+		return PAOutcome{}, fmt.Errorf("attack: proximity attack needs at least 2 designs")
+	}
+	if target < 0 || target >= len(chs) {
+		return PAOutcome{}, fmt.Errorf("attack: target %d out of range 0..%d", target, len(chs)-1)
+	}
+	if ev == nil {
+		return PAOutcome{}, fmt.Errorf("attack: proximity target needs a scored evaluation")
+	}
+	o := cfg.Obs
+	sp := o.Begin("attack.pa-target", obs.F("design", chs[target].Design.Name))
+	defer sp.End()
+	insts := NewInstances(chs)
+	rng := rand.New(rand.NewSource(cfg.Seed + 31 + int64(target)*104729))
+	return paTarget(cfg, insts, target, ev, radiusNorm, rng, sp), nil
 }
 
 // fixedThresholdPA is the pre-validation PA of [18]: the PA-LoC is simply

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/features"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/split"
 )
 
@@ -51,23 +52,36 @@ func NewInstances(chs []*split.Challenge) []*Instance {
 	return insts
 }
 
+// prepareRun applies defaults and validates a leave-one-out run request.
+func prepareRun(cfg Config, chs []*split.Challenge) (Config, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	if len(chs) < 2 {
+		return cfg, fmt.Errorf("attack: leave-one-out needs at least 2 designs, got %d", len(chs))
+	}
+	for _, ch := range chs[1:] {
+		if ch.SplitLayer != chs[0].SplitLayer {
+			return cfg, fmt.Errorf("attack: mixed split layers %d and %d", chs[0].SplitLayer, ch.SplitLayer)
+		}
+	}
+	return cfg, nil
+}
+
 // Run executes the full leave-one-out cross-validation attack of §III-C:
 // for every challenge, a model is trained on all other challenges and used
 // to score the held-out one. All challenges must be cuts at the same split
 // layer.
 func Run(cfg Config, chs []*split.Challenge) (*Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.Validate(); err != nil {
+	cfg, err := prepareRun(cfg, chs)
+	if err != nil {
 		return nil, err
 	}
-	if len(chs) < 2 {
-		return nil, fmt.Errorf("attack: leave-one-out needs at least 2 designs, got %d", len(chs))
-	}
-	for _, ch := range chs[1:] {
-		if ch.SplitLayer != chs[0].SplitLayer {
-			return nil, fmt.Errorf("attack: mixed split layers %d and %d", chs[0].SplitLayer, ch.SplitLayer)
-		}
-	}
+	o := cfg.Obs
+	sp := o.Begin("attack.run", obs.F("config", cfg.Name),
+		obs.F("layer", chs[0].SplitLayer), obs.F("designs", len(chs)))
+	defer sp.End()
 	start := time.Now()
 	insts := NewInstances(chs)
 	res := &Result{
@@ -77,7 +91,7 @@ func Run(cfg Config, chs []*split.Challenge) (*Result, error) {
 	}
 	for target := range insts {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(target)*7919))
-		ev, radius, err := runTarget(cfg, insts, target, rng)
+		ev, radius, err := runTarget(cfg, insts, target, rng, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -86,6 +100,29 @@ func Run(cfg Config, chs []*split.Challenge) (*Result, error) {
 	}
 	res.TotalDur = time.Since(start)
 	return res, nil
+}
+
+// RunTarget runs the leave-one-out attack for the single held-out design at
+// index target: one model is trained on every other challenge and scores
+// only the target, skipping the len(chs)-1 sibling runs Run would perform.
+// It returns the target's evaluation and the neighborhood radius used (as a
+// fraction of die width; -1 without the Imp improvement). The evaluation is
+// identical to Run(cfg, chs).Evals[target]: per-target randomness is
+// derived from cfg.Seed and the target index alone.
+func RunTarget(cfg Config, chs []*split.Challenge, target int) (*Evaluation, float64, error) {
+	cfg, err := prepareRun(cfg, chs)
+	if err != nil {
+		return nil, 0, err
+	}
+	if target < 0 || target >= len(chs) {
+		return nil, 0, fmt.Errorf("attack: target %d out of range 0..%d", target, len(chs)-1)
+	}
+	o := cfg.Obs
+	o.Log().Info("single-target attack: skipping sibling leave-one-out runs",
+		"config", cfg.Name, "target", chs[target].Design.Name, "targets_skipped", len(chs)-1)
+	insts := NewInstances(chs)
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(target)*7919))
+	return runTarget(cfg, insts, target, rng, nil)
 }
 
 // others returns insts without the element at target.
@@ -105,7 +142,7 @@ func trainModel(cfg Config, ds *ml.Dataset, rng *rand.Rand) (Scorer, error) {
 	if cfg.Learner != nil {
 		return cfg.Learner(ds, cfg, rng)
 	}
-	return ml.TrainBagging(ds, cfg.NumTrees, baseTreeOptions(cfg), rng)
+	return ml.TrainBaggingObs(cfg.Obs, ds, cfg.NumTrees, baseTreeOptions(cfg), rng)
 }
 
 func baseTreeOptions(cfg Config) ml.TreeOptions {
@@ -116,32 +153,63 @@ func baseTreeOptions(cfg Config) ml.TreeOptions {
 	return opts
 }
 
-// runTarget trains on all instances except target and scores target.
-func runTarget(cfg Config, insts []*Instance, target int, rng *rand.Rand) (*Evaluation, float64, error) {
+// runTarget trains on all instances except target and scores target. The
+// span for the target nests under parent when one is given (Run's root
+// span), else at the context's root (RunTarget).
+func runTarget(cfg Config, insts []*Instance, target int, rng *rand.Rand, parent *obs.Span) (*Evaluation, float64, error) {
+	o := cfg.Obs
+	sp := o.BeginUnder(parent, "target", obs.F("design", insts[target].Ch.Design.Name))
 	trainInsts := others(insts, target)
 	radiusNorm := -1.0
 	if cfg.Neighborhood {
 		radiusNorm = NeighborRadiusNorm(trainInsts, cfg.NeighborQuantile)
+		sp.SetAttr("radius_norm", radiusNorm)
 	}
 
 	t0 := time.Now()
+	ssp := sp.Begin("sampling")
 	ds := TrainingSet(cfg, trainInsts, radiusNorm, nil, rng)
+	tSample := time.Now()
+	ssp.SetAttr("samples", ds.Len())
+	ssp.End()
+
+	l1sp := sp.Begin("train-level1", obs.F("samples", ds.Len()), obs.F("trees", cfg.NumTrees))
 	model, err := trainModel(cfg, ds, rng)
+	tLevel1 := time.Now()
+	l1sp.End()
 	if err != nil {
+		sp.End()
 		return nil, 0, fmt.Errorf("attack: %s: %w", cfg.Name, err)
 	}
 	var sc Scorer = model
+	tLevel2 := tLevel1
 	if cfg.TwoLevel {
+		l2sp := sp.Begin("train-level2")
 		level2, err := trainLevel2(cfg, trainInsts, model, radiusNorm, rng)
+		tLevel2 = time.Now()
+		l2sp.End()
 		if err != nil {
+			sp.End()
 			return nil, 0, err
 		}
 		sc = &twoLevelScorer{l1: model, l2: level2}
 	}
 	trainDur := time.Since(t0)
 
+	scsp := sp.Begin("scoring")
 	ev := scoreTarget(sc, insts[target], cfg, radiusNorm)
+	scsp.SetAttr("pairs", ev.PairsScored)
+	scsp.End()
 	ev.TrainDur = trainDur
+	ev.Phases.Sampling = tSample.Sub(t0)
+	ev.Phases.Level1 = tLevel1.Sub(tSample)
+	ev.Phases.Level2 = tLevel2.Sub(tLevel1)
+	sp.SetAttr("train_ns", int64(ev.TrainDur))
+	sp.SetAttr("test_ns", int64(ev.TestDur))
+	sp.SetAttr("vpins", ev.N)
+	sp.End()
+	o.Metrics().Counter("attack.targets").Inc()
+	o.Metrics().Counter("attack.pairs.scored").Add(ev.PairsScored)
 	return ev, radiusNorm, nil
 }
 

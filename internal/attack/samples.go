@@ -134,6 +134,9 @@ func TrainingSet(cfg Config, insts []*Instance, radiusNorm float64,
 		idx := rng.Perm(ds.Len())[:cfg.TrainCap]
 		ds = ds.Subset(idx)
 	}
+	cfg.Obs.Metrics().Histogram("attack.trainset.size").Observe(float64(ds.Len()))
+	cfg.Obs.Log().Debug("training set sampled", "config", cfg.Name,
+		"designs", len(insts), "samples", ds.Len())
 	return ds
 }
 

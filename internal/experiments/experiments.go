@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/priorwork"
 	"repro/internal/split"
 )
@@ -27,6 +28,10 @@ type Suite struct {
 	Scale   float64
 	Seed    int64
 
+	// Obs, when non-nil, receives cache hit/miss counters, spans, and logs
+	// from every suite operation and is propagated into attack runs.
+	Obs *obs.Context
+
 	mu    sync.Mutex
 	chs   map[int][]*split.Challenge
 	runs  map[string]*attack.Result
@@ -37,20 +42,28 @@ type Suite struct {
 
 // NewSuite generates the five benchmark designs at the given scale.
 func NewSuite(scale float64, seed int64) (*Suite, error) {
-	designs, err := layout.GenerateSuite(layout.SuiteConfig{Scale: scale, Seed: seed})
+	return NewSuiteObs(nil, scale, seed)
+}
+
+// NewSuiteObs is NewSuite with an observability context (nil disables it)
+// that instruments suite generation and every subsequent suite operation.
+func NewSuiteObs(o *obs.Context, scale float64, seed int64) (*Suite, error) {
+	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Scale: scale, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
-	return &Suite{
-		Designs: designs,
-		Scale:   scale,
-		Seed:    seed,
-		chs:     map[int][]*split.Challenge{},
-		runs:    map[string]*attack.Result{},
-		noisy:   map[string][]*split.Challenge{},
-		pa:      map[string][]attack.PAOutcome{},
-		nn:      map[int][]float64{},
-	}, nil
+	s := NewSuiteFromDesigns(designs, scale, seed)
+	s.Obs = o
+	return s, nil
+}
+
+// cacheLookup records a suite-cache outcome on the metrics registry.
+func (s *Suite) cacheLookup(hit bool) {
+	if hit {
+		s.Obs.Metrics().Counter("suite.cache.hit").Inc()
+	} else {
+		s.Obs.Metrics().Counter("suite.cache.miss").Inc()
+	}
 }
 
 // NewSuiteFromDesigns wraps already-generated designs in a Suite with
@@ -74,11 +87,13 @@ func (s *Suite) Challenges(layer int) ([]*split.Challenge, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if chs, ok := s.chs[layer]; ok {
+		s.cacheLookup(true)
 		return chs, nil
 	}
+	s.cacheLookup(false)
 	chs := make([]*split.Challenge, 0, len(s.Designs))
 	for _, d := range s.Designs {
-		c, err := split.NewChallenge(d, layer)
+		c, err := split.NewChallengeObs(s.Obs, d, layer)
 		if err != nil {
 			return nil, err
 		}
@@ -103,8 +118,10 @@ func (s *Suite) NoisyChallenges(layer int, sd float64) ([]*split.Challenge, erro
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if chs, ok := s.noisy[key]; ok {
+		s.cacheLookup(true)
 		return chs, nil
 	}
+	s.cacheLookup(false)
 	rng := rand.New(rand.NewSource(s.Seed*1000 + int64(layer)*17 + int64(sd*1e4)))
 	chs := make([]*split.Challenge, len(base))
 	for i, ch := range base {
@@ -121,15 +138,20 @@ func (s *Suite) Run(cfg attack.Config, layer int) (*attack.Result, error) {
 	s.mu.Lock()
 	if r, ok := s.runs[key]; ok {
 		s.mu.Unlock()
+		s.cacheLookup(true)
 		return r, nil
 	}
 	s.mu.Unlock()
+	s.cacheLookup(false)
 
 	chs, err := s.Challenges(layer)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Seed = s.Seed
+	if s.Obs != nil {
+		cfg.Obs = s.Obs
+	}
 	r, err := attack.Run(cfg, chs)
 	if err != nil {
 		return nil, err
@@ -148,9 +170,11 @@ func (s *Suite) RunPA(cfg attack.Config, layer int, sd float64) ([]attack.PAOutc
 	s.mu.Lock()
 	if o, ok := s.pa[key]; ok {
 		s.mu.Unlock()
+		s.cacheLookup(true)
 		return o, nil
 	}
 	s.mu.Unlock()
+	s.cacheLookup(false)
 
 	chs, err := s.NoisyChallenges(layer, sd)
 	if err != nil {
@@ -169,6 +193,9 @@ func (s *Suite) RunPA(cfg attack.Config, layer int, sd float64) ([]attack.PAOutc
 		}
 	}
 	cfg.Seed = s.Seed
+	if s.Obs != nil {
+		cfg.Obs = s.Obs
+	}
 	o, err := attack.RunProximityOn(cfg, chs, prior)
 	if err != nil {
 		return nil, err
@@ -189,15 +216,20 @@ func (s *Suite) RunNoisy(cfg attack.Config, layer int, sd float64) (*attack.Resu
 	s.mu.Lock()
 	if r, ok := s.runs[key]; ok {
 		s.mu.Unlock()
+		s.cacheLookup(true)
 		return r, nil
 	}
 	s.mu.Unlock()
+	s.cacheLookup(false)
 
 	chs, err := s.NoisyChallenges(layer, sd)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Seed = s.Seed
+	if s.Obs != nil {
+		cfg.Obs = s.Obs
+	}
 	r, err := attack.Run(cfg, chs)
 	if err != nil {
 		return nil, err
@@ -214,9 +246,11 @@ func (s *Suite) nnPA(layer, d int) float64 {
 	s.mu.Lock()
 	if v, ok := s.nn[layer]; ok {
 		s.mu.Unlock()
+		s.cacheLookup(true)
 		return v[d]
 	}
 	s.mu.Unlock()
+	s.cacheLookup(false)
 	chs, err := s.Challenges(layer)
 	if err != nil {
 		return 0
@@ -263,6 +297,17 @@ func All() []Experiment {
 // repository's extension experiments.
 func AllWithExtensions() []Experiment {
 	return append(All(), extExperiments()...)
+}
+
+// RunExperiment executes one experiment under a span on the suite's
+// observability context, so per-experiment wall-clock cost lands in run
+// reports. With a nil Suite.Obs it is exactly e.Run(s, w).
+func RunExperiment(s *Suite, e Experiment, w io.Writer) error {
+	sp := s.Obs.Begin("experiment", obs.F("id", e.ID))
+	err := e.Run(s, w)
+	sp.End()
+	s.Obs.Metrics().Counter("experiments.run").Inc()
+	return err
 }
 
 // ByID returns the experiment with the given ID.

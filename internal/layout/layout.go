@@ -13,6 +13,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/geom"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/place"
 	"repro/internal/route"
 )
@@ -242,14 +243,32 @@ func SuiteProfiles(cfg SuiteConfig) []Profile {
 
 // GenerateSuite builds all five benchmark designs.
 func GenerateSuite(cfg SuiteConfig) ([]*Design, error) {
+	return GenerateSuiteObs(nil, cfg)
+}
+
+// GenerateSuiteObs is GenerateSuite with per-design spans, logs, and
+// counters on an observability context (nil disables them).
+func GenerateSuiteObs(o *obs.Context, cfg SuiteConfig) ([]*Design, error) {
 	profiles := SuiteProfiles(cfg)
+	sp := o.Begin("layout.suite",
+		obs.F("scale", cfg.Scale), obs.F("seed", cfg.Seed), obs.F("designs", len(profiles)))
 	designs := make([]*Design, 0, len(profiles))
 	for _, p := range profiles {
+		dsp := sp.Begin("design", obs.F("name", p.Name))
 		d, err := Generate(p)
 		if err != nil {
+			dsp.End()
+			sp.End()
 			return nil, err
 		}
+		dsp.SetAttr("cells", len(d.Netlist.Cells))
+		dsp.SetAttr("nets", len(d.Netlist.Nets))
+		dsp.End()
+		o.Metrics().Counter("layout.designs.generated").Inc()
+		o.Log().Debug("design generated", "name", d.Name,
+			"cells", len(d.Netlist.Cells), "nets", len(d.Netlist.Nets))
 		designs = append(designs, d)
 	}
+	sp.End()
 	return designs, nil
 }

@@ -3,6 +3,8 @@ package ml
 import (
 	"fmt"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Bagging is the bootstrap-aggregating meta-classifier. Following Weka, it
@@ -24,6 +26,12 @@ const DefaultForestSize = 100
 
 // TrainBagging trains n base trees on independent bootstrap resamples.
 func TrainBagging(ds *Dataset, n int, opts TreeOptions, rng *rand.Rand) (*Bagging, error) {
+	return TrainBaggingObs(nil, ds, n, opts, rng)
+}
+
+// TrainBaggingObs is TrainBagging reporting per-ensemble logs and per-tree
+// size metrics to an observability context (nil disables both).
+func TrainBaggingObs(o *obs.Context, ds *Dataset, n int, opts TreeOptions, rng *rand.Rand) (*Bagging, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("ml: bagging size %d must be positive", n)
 	}
@@ -38,6 +46,14 @@ func TrainBagging(ds *Dataset, n int, opts TreeOptions, rng *rand.Rand) (*Baggin
 			return nil, err
 		}
 		b.Trees = append(b.Trees, t)
+	}
+	if o.Enabled() {
+		h := o.Metrics().Histogram("ml.tree.nodes")
+		for _, t := range b.Trees {
+			h.Observe(float64(t.Nodes()))
+		}
+		o.Metrics().Counter("ml.trees.trained").Add(int64(n))
+		o.Log().Debug("bagging trained", "trees", n, "samples", ds.Len(), "nodes", b.Nodes())
 	}
 	return b, nil
 }

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CLI bundles the observability flags shared by every command in cmd/.
+// Typical wiring:
+//
+//	var cli obs.CLI
+//	cli.Register(flag.CommandLine)
+//	flag.Parse()
+//	if cli.ShowVersion { fmt.Println(obs.Version()); return }
+//	o, err := cli.Setup("mycmd") // o may be nil: observability is opt-in
+//	defer cli.Finish(o, configMap, summaryMap)
+type CLI struct {
+	Verbose     bool
+	LogFormat   string
+	ReportPath  string
+	DumpMetrics bool
+	CPUProfile  string
+	MemProfile  string
+	ShowVersion bool
+
+	cpuFile *os.File
+}
+
+// Register installs the flags on fs.
+func (c *CLI) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&c.Verbose, "v", false, "verbose: structured span/phase logs on stderr")
+	fs.StringVar(&c.LogFormat, "log-format", "text", "log format: text or json")
+	fs.StringVar(&c.ReportPath, "report", "", "write a JSON run report to this path")
+	fs.BoolVar(&c.DumpMetrics, "metrics", false, "dump the metrics registry to stderr at exit")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this path")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this path at exit")
+	fs.BoolVar(&c.ShowVersion, "version", false, "print version and exit")
+}
+
+// Setup starts profiling and returns the observability context implied by
+// the flags — nil when every observability feature is off, so the
+// instrumented pipeline runs exactly as before.
+func (c *CLI) Setup(command string) (*Context, error) {
+	if c.LogFormat != "text" && c.LogFormat != "json" {
+		return nil, fmt.Errorf("obs: unknown -log-format %q (want text or json)", c.LogFormat)
+	}
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		c.cpuFile = f
+	}
+	if !c.Verbose && c.ReportPath == "" && !c.DumpMetrics {
+		return nil, nil
+	}
+	var logger *slog.Logger
+	if c.Verbose {
+		hopts := &slog.HandlerOptions{Level: slog.LevelInfo}
+		if c.LogFormat == "json" {
+			logger = slog.New(slog.NewJSONHandler(os.Stderr, hopts))
+		} else {
+			logger = slog.New(slog.NewTextHandler(os.Stderr, hopts))
+		}
+	}
+	return New(Options{Command: command, Logger: logger}), nil
+}
+
+// Finish runs the at-exit observability work: it stops the CPU profile,
+// writes the heap profile, dumps the metrics registry, and writes the run
+// report with the caller's config and summary blocks attached.
+func (c *CLI) Finish(o *Context, config, summary map[string]any) error {
+	if c.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := c.cpuFile.Close(); err != nil {
+			return fmt.Errorf("obs: cpuprofile: %w", err)
+		}
+		c.cpuFile = nil
+	}
+	if c.MemProfile != "" {
+		f, err := os.Create(c.MemProfile)
+		if err != nil {
+			return fmt.Errorf("obs: memprofile: %w", err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("obs: memprofile: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("obs: memprofile: %w", err)
+		}
+	}
+	if c.DumpMetrics && o != nil {
+		fmt.Fprintln(os.Stderr, "metrics registry:")
+		o.Metrics().Snapshot().WriteText(os.Stderr)
+	}
+	if c.ReportPath != "" && o != nil {
+		rep := o.BuildReport()
+		rep.Config = config
+		rep.Summary = summary
+		if err := WriteReportFile(c.ReportPath, rep); err != nil {
+			return err
+		}
+		o.Log().Info("run report written", "path", c.ReportPath)
+	}
+	return nil
+}

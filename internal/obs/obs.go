@@ -1,0 +1,105 @@
+// Package obs is the observability substrate of the attack pipeline:
+// structured logging on log/slog, a hierarchical span timer, a lightweight
+// metrics registry (counters, gauges, histograms with quantile summaries),
+// machine-readable run reports, and CLI wiring for profiles.
+//
+// Everything is opt-in and nil-safe: library code instruments
+// unconditionally against a *Context that may be nil, in which case every
+// call is a no-op and the instrumented code runs at full speed. Commands
+// construct a Context from flags (see CLI) only when the user asks for
+// logs, metrics, or a report.
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Context carries the observability state of one run: the logger, the span
+// tree, and the metrics registry. A nil *Context disables everything.
+type Context struct {
+	command string
+	log     *slog.Logger
+	reg     *Registry
+	started time.Time
+
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// Options configures a Context.
+type Options struct {
+	// Command names the producing command in reports.
+	Command string
+	// Logger receives structured logs; nil disables logging while keeping
+	// spans and metrics active.
+	Logger *slog.Logger
+}
+
+// New creates an enabled observability context.
+func New(opts Options) *Context {
+	return &Context{
+		command: opts.Command,
+		log:     opts.Logger,
+		reg:     NewRegistry(),
+		started: time.Now(),
+	}
+}
+
+// Enabled reports whether the context records anything.
+func (o *Context) Enabled() bool { return o != nil }
+
+// Log returns the context's logger; it is never nil — a disabled context
+// (or one constructed without a logger) yields a logger that discards
+// every record without formatting it.
+func (o *Context) Log() *slog.Logger {
+	if o == nil || o.log == nil {
+		return nopLogger
+	}
+	return o.log
+}
+
+// Metrics returns the context's metrics registry; nil when disabled (all
+// Registry, Counter, Gauge, and Histogram methods are nil-safe, so chained
+// calls like o.Metrics().Counter("x").Inc() are always legal).
+func (o *Context) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Begin starts a root-level span.
+func (o *Context) Begin(name string, attrs ...Attr) *Span {
+	if o == nil {
+		return nil
+	}
+	s := newSpan(o, nil, name, attrs)
+	o.mu.Lock()
+	o.roots = append(o.roots, s)
+	o.mu.Unlock()
+	s.logBegin()
+	return s
+}
+
+// BeginUnder starts a span under parent, or at root level when parent is
+// nil. It lets library code nest under a caller-provided span without
+// caring whether one exists.
+func (o *Context) BeginUnder(parent *Span, name string, attrs ...Attr) *Span {
+	if parent != nil {
+		return parent.Begin(name, attrs...)
+	}
+	return o.Begin(name, attrs...)
+}
+
+// nopLogger discards records at the handler level, before formatting.
+var nopLogger = slog.New(discardHandler{})
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

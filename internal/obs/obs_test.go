@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"log/slog"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilContextIsSafeAndCheap(t *testing.T) {
+	var o *Context
+	if o.Enabled() {
+		t.Error("nil context reports enabled")
+	}
+	if o.Log() == nil {
+		t.Fatal("nil context must still hand out a logger")
+	}
+	o.Log().Info("discarded")
+
+	sp := o.Begin("root", F("k", 1))
+	if sp != nil {
+		t.Fatal("nil context produced a span")
+	}
+	child := sp.Begin("child")
+	child.SetAttr("x", 2)
+	child.Count("n", 3)
+	if d := child.End(); d != 0 {
+		t.Errorf("nil span End = %v, want 0", d)
+	}
+	if s2 := o.BeginUnder(nil, "x"); s2 != nil {
+		t.Fatal("nil context BeginUnder produced a span")
+	}
+
+	// The whole chained metrics path must no-op.
+	o.Metrics().Counter("c").Inc()
+	o.Metrics().Gauge("g").Set(1)
+	o.Metrics().Histogram("h").Observe(1)
+	if o.Metrics().Counter("c").Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	if o.Metrics().Snapshot() != nil {
+		t.Error("nil registry snapshot not nil")
+	}
+	if o.BuildReport() != nil {
+		t.Error("nil context built a report")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	o := New(Options{Command: "test"})
+	root := o.Begin("root", F("cfg", "Imp-11"))
+	a := root.Begin("a")
+	b := a.Begin("b", F("deep", true))
+	b.Count("items", 2)
+	b.Count("items", 3)
+	b.End()
+	a.End()
+	inner := o.BeginUnder(root, "c")
+	inner.End()
+	root.End()
+	second := o.Begin("second")
+	second.End()
+
+	rep := o.BuildReport()
+	if len(rep.Spans) != 2 {
+		t.Fatalf("got %d root spans, want 2", len(rep.Spans))
+	}
+	r := rep.Spans[0]
+	if r.Name != "root" || len(r.Children) != 2 {
+		t.Fatalf("root span %q has %d children, want root/2", r.Name, len(r.Children))
+	}
+	if r.Children[0].Name != "a" || r.Children[1].Name != "c" {
+		t.Errorf("children %q, %q", r.Children[0].Name, r.Children[1].Name)
+	}
+	bRep := rep.Find("b")
+	if bRep == nil {
+		t.Fatal("Find(b) = nil")
+	}
+	if bRep.Counters["items"] != 5 {
+		t.Errorf("span counter = %d, want 5", bRep.Counters["items"])
+	}
+	if bRep.Attrs["deep"] != true {
+		t.Errorf("span attr deep = %v", bRep.Attrs["deep"])
+	}
+	// A parent's duration covers its children.
+	if r.DurNS < r.Children[0].DurNS {
+		t.Errorf("root dur %d < child dur %d", r.DurNS, r.Children[0].DurNS)
+	}
+	if rep.Find("nosuch") != nil {
+		t.Error("Find(nosuch) != nil")
+	}
+}
+
+func TestSpanEndIdempotentAndLogged(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	o := New(Options{Command: "test", Logger: logger})
+	sp := o.Begin("phase", F("design", "sb1"))
+	d1 := sp.End()
+	time.Sleep(time.Millisecond)
+	d2 := sp.End()
+	if d1 != d2 {
+		t.Errorf("second End changed duration: %v vs %v", d1, d2)
+	}
+	if sp.Dur() != d1 {
+		t.Errorf("Dur() = %v, want %v", sp.Dur(), d1)
+	}
+	if !strings.Contains(buf.String(), "span phase") || !strings.Contains(buf.String(), "design=sb1") {
+		t.Errorf("span log missing fields: %q", buf.String())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	snap := r.Snapshot()
+	s, ok := snap.Histograms["lat"]
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if s.Count != 1000 || s.Min != 1 || s.Max != 1000 {
+		t.Errorf("count/min/max = %d/%g/%g", s.Count, s.Min, s.Max)
+	}
+	if math.Abs(s.Mean-500.5) > 1e-9 {
+		t.Errorf("mean = %g, want 500.5", s.Mean)
+	}
+	// Reservoir not yet exceeded, so quantiles are exact nearest-rank.
+	if math.Abs(s.P50-500) > 1 || math.Abs(s.P90-900) > 1 || math.Abs(s.P99-990) > 1 {
+		t.Errorf("quantiles p50=%g p90=%g p99=%g", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestHistogramReservoirOverflow(t *testing.T) {
+	h := &Histogram{}
+	const n = 10 * histReservoir
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i % 100))
+	}
+	if h.count != n {
+		t.Fatalf("count = %d, want %d", h.count, n)
+	}
+	if len(h.samples) != histReservoir {
+		t.Fatalf("reservoir size %d, want %d", len(h.samples), histReservoir)
+	}
+	// Values are uniform over 0..99: the median estimate must land nearby.
+	if q := h.Quantile(0.5); q < 30 || q > 70 {
+		t.Errorf("overflowed reservoir p50 = %g, want ≈ 50", q)
+	}
+}
+
+func TestCountersAndGaugesConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hits").Inc()
+				r.Histogram("h").Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("hits").Value(); v != 8000 {
+		t.Errorf("counter = %d, want 8000", v)
+	}
+	r.Gauge("g").Set(2.5)
+	if v := r.Gauge("g").Value(); v != 2.5 {
+		t.Errorf("gauge = %g", v)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	o := New(Options{Command: "roundtrip"})
+	sp := o.Begin("outer", F("layer", 8))
+	sp.Begin("inner").End()
+	sp.End()
+	o.Metrics().Counter("suite.cache.hit").Add(3)
+	o.Metrics().Histogram("sizes").Observe(42)
+
+	rep := o.BuildReport()
+	rep.Config = map[string]any{"design": "sb1"}
+	rep.Summary = map[string]any{"vpins": 96}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Command != "roundtrip" || back.Version == "" || back.GoVersion == "" {
+		t.Errorf("provenance lost: %+v", back)
+	}
+	if back.Find("inner") == nil {
+		t.Error("span tree lost in round trip")
+	}
+	if back.Metrics == nil || back.Metrics.Counters["suite.cache.hit"] != 3 {
+		t.Error("metrics lost in round trip")
+	}
+	if hs := back.Metrics.Histograms["sizes"]; hs.Count != 1 || hs.Max != 42 {
+		t.Errorf("histogram summary lost: %+v", hs)
+	}
+	if back.Config["design"] != "sb1" {
+		t.Error("config lost in round trip")
+	}
+	if back.WallNS <= 0 {
+		t.Error("wall duration missing")
+	}
+}
+
+func TestCLISetupAndFinish(t *testing.T) {
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "report.json")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+
+	var cli CLI
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cli.Register(fs)
+	err := fs.Parse([]string{
+		"-report", reportPath, "-cpuprofile", cpuPath, "-memprofile", memPath,
+		"-log-format", "json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := cli.Setup("clitest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil {
+		t.Fatal("-report must enable the context")
+	}
+	o.Begin("work").End()
+	if err := cli.Finish(o, map[string]any{"k": "v"}, map[string]any{"n": 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("written report invalid: %v", err)
+	}
+	if rep.Command != "clitest" || rep.Find("work") == nil {
+		t.Errorf("report content wrong: %+v", rep)
+	}
+	for _, p := range []string{cpuPath, memPath} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty", p)
+		}
+	}
+}
+
+func TestCLIRejectsBadLogFormat(t *testing.T) {
+	cli := CLI{LogFormat: "yaml"}
+	if _, err := cli.Setup("x"); err == nil {
+		t.Error("bad -log-format accepted")
+	}
+}
+
+func TestCLIDisabledByDefault(t *testing.T) {
+	cli := CLI{LogFormat: "text"}
+	o, err := cli.Setup("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o != nil {
+		t.Error("observability must be opt-in: no flags, no context")
+	}
+	if err := cli.Finish(o, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionNonEmpty(t *testing.T) {
+	if Version() == "" {
+		t.Error("empty version")
+	}
+}
+
+func TestPeakRSSOnLinux(t *testing.T) {
+	if _, err := os.Stat("/proc/self/status"); err != nil {
+		t.Skip("no /proc on this platform")
+	}
+	if PeakRSS() <= 0 {
+		t.Error("PeakRSS = 0 on linux")
+	}
+}

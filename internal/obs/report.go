@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SpanReport is the JSON form of one span subtree.
+type SpanReport struct {
+	Name     string           `json:"name"`
+	DurNS    int64            `json:"dur_ns"`
+	Dur      string           `json:"dur"`
+	Attrs    map[string]any   `json:"attrs,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Children []*SpanReport    `json:"children,omitempty"`
+}
+
+// Find returns the first span named name in a depth-first walk of the
+// subtree (including the receiver), or nil.
+func (s *SpanReport) Find(name string) *SpanReport {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// Report is the machine-readable record of one run: provenance, the span
+// tree, the metrics snapshot, and command-specific config/summary blocks.
+// Reports written across PRs form a diffable perf trajectory.
+type Report struct {
+	Command      string         `json:"command"`
+	Version      string         `json:"version"`
+	GoVersion    string         `json:"go_version"`
+	Config       map[string]any `json:"config,omitempty"`
+	Summary      map[string]any `json:"summary,omitempty"`
+	WallNS       int64          `json:"wall_ns"`
+	Wall         string         `json:"wall"`
+	PeakRSSBytes int64          `json:"peak_rss_bytes,omitempty"`
+	Spans        []*SpanReport  `json:"spans,omitempty"`
+	Metrics      *Snapshot      `json:"metrics,omitempty"`
+}
+
+// Find returns the first span named name across all root span trees.
+func (r *Report) Find(name string) *SpanReport {
+	if r == nil {
+		return nil
+	}
+	for _, s := range r.Spans {
+		if hit := s.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// BuildReport snapshots the context into a Report. Nil context yields nil.
+func (o *Context) BuildReport() *Report {
+	if o == nil {
+		return nil
+	}
+	wall := time.Since(o.started)
+	r := &Report{
+		Command:      o.command,
+		Version:      Version(),
+		GoVersion:    runtime.Version(),
+		WallNS:       int64(wall),
+		Wall:         wall.String(),
+		PeakRSSBytes: PeakRSS(),
+		Metrics:      o.reg.Snapshot(),
+	}
+	o.mu.Lock()
+	roots := append([]*Span(nil), o.roots...)
+	o.mu.Unlock()
+	for _, s := range roots {
+		r.Spans = append(r.Spans, s.report())
+	}
+	return r
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteReportFile writes the report to path.
+func WriteReportFile(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: report: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: report: %w", err)
+	}
+	return f.Close()
+}
+
+// PeakRSS returns the process's peak resident set size in bytes (VmHWM),
+// or 0 where unavailable (non-Linux platforms).
+func PeakRSS() int64 {
+	b, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb * 1024
+	}
+	return 0
+}
+
+// Version reports the build's module version plus VCS revision, via
+// runtime/debug.ReadBuildInfo, for run-report provenance.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	v := bi.Main.Version
+	if v != "" && v != "(devel)" {
+		// Module-aware builds already carry a (pseudo-)version with any
+		// VCS dirty marker baked in.
+		return v
+	}
+	v = "(devel)"
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		v += "+" + rev
+		if dirty {
+			v += "-dirty"
+		}
+	}
+	return v
+}

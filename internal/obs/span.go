@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value attribute of a span.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// F builds an Attr; the name echoes slog's key-value style.
+func F(key string, value any) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed phase of a run. Spans nest: children are created with
+// Begin on the parent, and the whole tree lands in the run report. All
+// methods are safe on a nil *Span, so instrumented code never checks.
+type Span struct {
+	o     *Context
+	path  string // "/"-joined ancestry, for logs
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	attrs    []Attr
+	counters map[string]int64
+	children []*Span
+	dur      time.Duration
+	ended    bool
+}
+
+func newSpan(o *Context, parent *Span, name string, attrs []Attr) *Span {
+	path := name
+	if parent != nil {
+		path = parent.path + "/" + name
+	}
+	return &Span{o: o, path: path, name: name, start: time.Now(), attrs: attrs}
+}
+
+// Begin starts a child span.
+func (s *Span) Begin(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := newSpan(s.o, s, name, attrs)
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	c.logBegin()
+	return c
+}
+
+// SetAttr attaches (or overwrites) an attribute.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// Count adds n to a named counter scoped to this span.
+func (s *Span) Count(key string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = map[string]int64{}
+	}
+	s.counters[key] += n
+	s.mu.Unlock()
+}
+
+// End stops the span, logs it, and returns its wall-clock duration. A
+// second End keeps the first duration.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	d := s.dur
+	args := make([]any, 0, 2+2*len(s.attrs)+2*len(s.counters))
+	args = append(args, "dur", d)
+	for _, a := range s.attrs {
+		args = append(args, a.Key, a.Value)
+	}
+	for k, v := range s.counters {
+		args = append(args, k, v)
+	}
+	s.mu.Unlock()
+	s.o.Log().Info("span "+s.path, args...)
+	return d
+}
+
+// Dur returns the duration recorded by End (0 before End).
+func (s *Span) Dur() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dur
+}
+
+func (s *Span) logBegin() {
+	if s == nil {
+		return
+	}
+	log := s.o.Log()
+	if !log.Enabled(context.Background(), slog.LevelDebug) {
+		return
+	}
+	args := make([]any, 0, 2*len(s.attrs))
+	s.mu.Lock()
+	for _, a := range s.attrs {
+		args = append(args, a.Key, a.Value)
+	}
+	s.mu.Unlock()
+	log.Debug("begin "+s.path, args...)
+}
+
+// report snapshots the span subtree.
+func (s *Span) report() *SpanReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &SpanReport{
+		Name:  s.name,
+		DurNS: int64(s.dur),
+		Dur:   s.dur.String(),
+	}
+	if len(s.attrs) > 0 {
+		r.Attrs = make(map[string]any, len(s.attrs))
+		for _, a := range s.attrs {
+			r.Attrs[a.Key] = a.Value
+		}
+	}
+	if len(s.counters) > 0 {
+		r.Counters = make(map[string]int64, len(s.counters))
+		for k, v := range s.counters {
+			r.Counters[k] = v
+		}
+	}
+	for _, c := range s.children {
+		r.Children = append(r.Children, c.report())
+	}
+	return r
+}
