@@ -112,6 +112,31 @@ func runQuality(b *testing.B, cfg attack.Config, layer int) {
 	b.ReportMetric(acc, "acc@10")
 }
 
+// benchWorkers measures the full leave-one-out run at a fixed worker
+// count. The attack result is identical at every count (the determinism
+// tests pin this); only the wall time changes, so comparing these
+// benchmarks is the serial-vs-parallel speedup measurement.
+func benchWorkers(b *testing.B, workers int) {
+	b.Helper()
+	chs := benchChallenges(b, 6)
+	cfg := attack.Imp11()
+	cfg.Name = "Imp-11-workers"
+	cfg.Seed = 1
+	cfg.Workers = workers
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.Run(cfg, chs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunWorkers1(b *testing.B) { benchWorkers(b, 1) }
+func BenchmarkRunWorkers2(b *testing.B) { benchWorkers(b, 2) }
+func BenchmarkRunWorkers4(b *testing.B) { benchWorkers(b, 4) }
+func BenchmarkRunWorkersMax(b *testing.B) {
+	benchWorkers(b, 0) // GOMAXPROCS
+}
+
 // Ablation: the neighborhood CDF cut trades the saturation ceiling against
 // runtime (§III-D discusses the 90% choice).
 func BenchmarkAblationNeighborhood80(b *testing.B) {

@@ -40,7 +40,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Scale: *scale, Seed: *seed})
+	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Scale: *scale, Seed: *seed, Workers: cli.Workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -123,7 +123,7 @@ func main() {
 	}
 	tw.Flush()
 
-	configMap := map[string]any{"scale": *scale, "seed": *seed}
+	configMap := map[string]any{"scale": *scale, "seed": *seed, "workers": cli.Workers}
 	summary := map[string]any{"designs": designStats}
 	if err := cli.Finish(o, configMap, summary); err != nil {
 		fmt.Fprintln(os.Stderr, err)

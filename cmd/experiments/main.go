@@ -69,7 +69,7 @@ func main() {
 
 	fmt.Printf("Generating benchmark suite (scale %.2f, seed %d)...\n", *scale, *seed)
 	t0 := time.Now()
-	suite, err := experiments.NewSuiteObs(o, *scale, *seed)
+	suite, err := experiments.NewSuiteParallel(o, *scale, *seed, cli.Workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -94,7 +94,7 @@ func main() {
 		durations[e.ID+"_ns"] = int64(d)
 	}
 
-	configMap := map[string]any{"scale": *scale, "seed": *seed, "run": *run}
+	configMap := map[string]any{"scale": *scale, "seed": *seed, "run": *run, "workers": cli.Workers}
 	summary := map[string]any{"experiments": ran, "experiment_durations": durations}
 	if err := cli.Finish(o, configMap, summary); err != nil {
 		fmt.Fprintln(os.Stderr, err)

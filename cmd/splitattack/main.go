@@ -54,9 +54,10 @@ func main() {
 		cfg = attack.WithBase(cfg, ml.RandomTree, 0)
 	}
 	cfg.Seed = *seed
+	cfg.Workers = cli.Workers
 	cfg.Obs = o
 
-	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Scale: *scale, Seed: *seed})
+	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Scale: *scale, Seed: *seed, Workers: cli.Workers})
 	if err != nil {
 		fatal(err)
 	}
@@ -150,13 +151,14 @@ func main() {
 		}
 	}
 	configMap := map[string]any{
-		"design": *design,
-		"layer":  *layer,
-		"config": cfg.Name,
-		"scale":  *scale,
-		"seed":   *seed,
-		"base":   *base,
-		"trees":  trees,
+		"design":  *design,
+		"layer":   *layer,
+		"config":  cfg.Name,
+		"scale":   *scale,
+		"seed":    *seed,
+		"base":    *base,
+		"trees":   trees,
+		"workers": cli.Workers,
 	}
 	if err := cli.Finish(o, configMap, summary); err != nil {
 		fatal(err)

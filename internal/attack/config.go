@@ -11,6 +11,7 @@ package attack
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/features"
 	"repro/internal/ml"
@@ -54,10 +55,23 @@ type Config struct {
 	TrainCap int
 	// Learner, when non-nil, replaces the Bagging ensemble with a custom
 	// classifier (e.g. logistic regression for the classifier-choice
-	// ablation). It must return a model whose Prob is in [0, 1].
+	// ablation). It must return a model whose Prob is in [0, 1]. The
+	// returned Scorer must be safe for concurrent Prob calls: candidate
+	// scoring fans out across workers. The rng handed to the Learner is a
+	// stream derived from Seed and the unit being trained (see
+	// internal/rng); the Learner owns it exclusively.
 	Learner Learner
-	// Seed drives all randomness of a run.
+	// Seed is the root of all randomness of a run. Every random decision —
+	// training-set sampling, tree induction, level-2 negative draws,
+	// proximity validation splits — draws from an independent stream
+	// derived from Seed and the unit's coordinates via rng.Derive, so
+	// results depend only on Seed, never on Workers or scheduling.
 	Seed int64
+	// Workers bounds the goroutines used for per-target runs, ensemble
+	// training, level-2 scoring, and candidate-pair scoring. Zero or
+	// negative selects GOMAXPROCS. Results are bit-identical at any
+	// worker count.
+	Workers int
 	// Obs, when non-nil, receives structured logs, per-phase spans, and
 	// metrics from every stage of the run. A nil Obs disables all
 	// instrumentation at no cost.
@@ -66,11 +80,17 @@ type Config struct {
 
 // Scorer is the classifier interface the attack engine consumes: a
 // probability that a feature vector describes a truly matching v-pin pair.
+// Prob must be safe for concurrent use — the engine scores candidate pairs
+// from multiple goroutines against one Scorer. Trained models are expected
+// to be immutable, which makes this free (ml.Bagging qualifies).
 type Scorer interface {
 	Prob(x []float64) float64
 }
 
-// Learner trains a Scorer on a pair-sample dataset.
+// Learner trains a Scorer on a pair-sample dataset. The rng is an
+// independent per-unit stream owned by this call alone; implementations
+// may consume it freely but must not retain it past training. Learners may
+// be invoked concurrently for different targets, each with its own rng.
 type Learner func(ds *ml.Dataset, cfg Config, rng *rand.Rand) (Scorer, error)
 
 func (c Config) withDefaults() Config {
@@ -91,6 +111,23 @@ func (c Config) withDefaults() Config {
 		c.Features = features.Set9()
 	}
 	return c
+}
+
+// workerCount resolves the configured worker bound for a pool processing n
+// units: Workers when positive (GOMAXPROCS otherwise), capped at n so no
+// goroutine starts idle.
+func (c Config) workerCount(n int) int {
+	w := c.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Validate rejects inconsistent configurations.

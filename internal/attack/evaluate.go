@@ -1,7 +1,6 @@
 package attack
 
 import (
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -163,13 +162,7 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 		ev.Truth[a] = inst.match[a]
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(targets) {
-		workers = len(targets)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := cfg.workerCount(len(targets))
 	var next int64
 	var mu sync.Mutex
 	take := func(batch int) (int, int) {

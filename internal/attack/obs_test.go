@@ -176,32 +176,34 @@ func TestRunReportPerTarget(t *testing.T) {
 		t.Fatal("report has no attack.run span")
 	}
 	type targetSpan struct {
-		design          string
 		trainNS, testNS int64
 	}
-	var targets []targetSpan
+	// Targets run concurrently, so child spans appear in completion order;
+	// match them to evaluations by design name (unique per suite).
+	targets := map[string]targetSpan{}
 	for _, c := range root.Children {
 		if c.Name != "target" {
 			continue
 		}
-		targets = append(targets, targetSpan{
-			design:  c.Attrs["design"].(string),
+		targets[c.Attrs["design"].(string)] = targetSpan{
 			trainNS: c.Attrs["train_ns"].(int64),
 			testNS:  c.Attrs["test_ns"].(int64),
-		})
+		}
 	}
 	if len(targets) != len(res.Evals) {
 		t.Fatalf("%d target spans for %d evaluations", len(targets), len(res.Evals))
 	}
-	for i, ev := range res.Evals {
-		if targets[i].design != ev.Design {
-			t.Errorf("target %d span design %s, want %s", i, targets[i].design, ev.Design)
+	for _, ev := range res.Evals {
+		sp, ok := targets[ev.Design]
+		if !ok {
+			t.Errorf("no target span for design %s", ev.Design)
+			continue
 		}
-		if targets[i].trainNS != int64(ev.TrainDur) {
-			t.Errorf("%s: span train_ns %d, want %d", ev.Design, targets[i].trainNS, int64(ev.TrainDur))
+		if sp.trainNS != int64(ev.TrainDur) {
+			t.Errorf("%s: span train_ns %d, want %d", ev.Design, sp.trainNS, int64(ev.TrainDur))
 		}
-		if targets[i].testNS != int64(ev.TestDur) {
-			t.Errorf("%s: span test_ns %d, want %d", ev.Design, targets[i].testNS, int64(ev.TestDur))
+		if sp.testNS != int64(ev.TestDur) {
+			t.Errorf("%s: span test_ns %d, want %d", ev.Design, sp.testNS, int64(ev.TestDur))
 		}
 	}
 	if n := o.Metrics().Counter("attack.targets").Value(); n != int64(len(res.Evals)) {

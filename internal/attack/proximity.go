@@ -1,11 +1,15 @@
 package attack
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/rng"
 	"repro/internal/split"
 )
 
@@ -19,7 +23,9 @@ func DefaultPAFractions() []float64 {
 // v-pin: the PA-LoC of a v-pin is its top frac*N candidates by probability,
 // and the attack picks the candidate with the smallest ManhattanVpin
 // distance (ties broken by higher probability, then randomly). It returns
-// the fraction of v-pins whose picked candidate is the true match.
+// the fraction of v-pins whose picked candidate is the true match. The rng
+// breaks exact ties only; the caller owns it (RunProximity hands each
+// target its derived unitPA stream).
 func (ev *Evaluation) ProximitySuccess(frac float64, rng *rand.Rand) float64 {
 	targets := ev.Subset
 	if targets == nil {
@@ -83,6 +89,7 @@ func (ev *Evaluation) proximityPick(a, k int, rng *rand.Rand) (int32, bool) {
 // PAAnswers returns the proximity-attack pick of every v-pin at the given
 // PA-LoC fraction, or -1 where no candidate exists. Downstream consumers
 // (e.g. functional netlist-recovery evaluation) turn this into a pairing.
+// The rng breaks exact ties; the caller owns it.
 func (ev *Evaluation) PAAnswers(frac float64, rng *rand.Rand) []int32 {
 	k := int(frac*float64(ev.N) + 0.5)
 	if k < 1 {
@@ -124,7 +131,15 @@ func RunProximity(cfg Config, chs []*split.Challenge) ([]PAOutcome, error) {
 // RunProximityOn is RunProximity reusing an existing attack run's scored
 // candidates (prior must come from Run with the same configuration and
 // challenges); with a nil prior the evaluations are computed here. Only the
-// validation stage is executed either way.
+// validation stage is executed either way, and the PA outcome of a target
+// is identical whether its evaluation was reused or recomputed: all PA
+// randomness comes from the stream (cfg.Seed, unitPA, target), independent
+// of the attack-run streams.
+//
+// Targets run concurrently on cfg.Workers goroutines (0 = GOMAXPROCS) with
+// bit-identical outcomes at any worker count. A failing target does not
+// abort its siblings; failed entries are zero-valued in the returned slice
+// and their errors are joined.
 func RunProximityOn(cfg Config, chs []*split.Challenge, prior *Result) ([]PAOutcome, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -137,49 +152,79 @@ func RunProximityOn(cfg Config, chs []*split.Challenge, prior *Result) ([]PAOutc
 		return nil, fmt.Errorf("attack: prior result covers %d designs, want %d", len(prior.Evals), len(chs))
 	}
 	o := cfg.Obs
-	root := o.Begin("attack.pa", obs.F("config", cfg.Name), obs.F("designs", len(chs)))
+	workers := cfg.workerCount(len(chs))
+	root := o.Begin("attack.pa", obs.F("config", cfg.Name),
+		obs.F("designs", len(chs)), obs.F("workers", workers))
 	defer root.End()
 	insts := NewInstances(chs)
 	outcomes := make([]PAOutcome, len(insts))
-	for target := range insts {
-		rng := rand.New(rand.NewSource(cfg.Seed + 31 + int64(target)*104729))
-		var ev *Evaluation
-		var radiusNorm float64
-		tsp := root.Begin("pa-target", obs.F("design", insts[target].Ch.Design.Name))
-		if prior != nil {
-			ev = prior.Evals[target]
-			radiusNorm = prior.RadiusNorm[target]
-		} else {
-			var err error
-			ev, radiusNorm, err = runTarget(cfg, insts, target, rng, tsp)
-			if err != nil {
+	errs := make([]error, len(insts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				target := int(next.Add(1)) - 1
+				if target >= len(insts) {
+					return
+				}
+				tsp := root.Begin("pa-target",
+					obs.F("design", insts[target].Ch.Design.Name), obs.F("worker", worker))
+				var ev *Evaluation
+				var radiusNorm float64
+				if prior != nil {
+					ev = prior.Evals[target]
+					radiusNorm = prior.RadiusNorm[target]
+				} else {
+					var err error
+					ev, radiusNorm, err = runTarget(cfg, insts, target, worker, tsp)
+					if err != nil {
+						errs[target] = err
+						tsp.End()
+						continue
+					}
+				}
+				if ev == nil {
+					errs[target] = fmt.Errorf("attack: %s: target %s: prior result has no evaluation",
+						cfg.Name, insts[target].Ch.Design.Name)
+					tsp.End()
+					continue
+				}
+				outcomes[target] = paTarget(cfg, insts, target, ev, radiusNorm, tsp)
 				tsp.End()
-				return nil, err
 			}
-		}
-
-		outcomes[target] = paTarget(cfg, insts, target, ev, radiusNorm, rng, tsp)
-		tsp.End()
+		}(w)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return outcomes, fmt.Errorf("attack: %s: proximity attack: %w", cfg.Name, err)
 	}
 	return outcomes, nil
 }
 
 // paTarget runs the validation stage for one target and assembles its
-// outcome from an already-scored evaluation.
+// outcome from an already-scored evaluation. Every random draw — the 80/20
+// validation split, validation-model training, and tie-breaking — comes
+// from streams derived from (cfg.Seed, unitPA/unitPAModel, target), so the
+// outcome is the same from RunProximity, RunProximityOn, and
+// ProximityTarget alike.
 func paTarget(cfg Config, insts []*Instance, target int, ev *Evaluation,
-	radiusNorm float64, rng *rand.Rand, sp *obs.Span) PAOutcome {
+	radiusNorm float64, sp *obs.Span) PAOutcome {
 
+	paRng := rng.Derive(cfg.Seed, unitPA, int64(target))
 	v0 := time.Now()
 	vsp := sp.Begin("validation")
-	bestFrac := validatePAFraction(cfg, others(insts, target), radiusNorm, rng)
+	bestFrac := validatePAFraction(cfg, others(insts, target), radiusNorm, target, paRng)
 	vsp.SetAttr("best_frac", bestFrac)
 	vsp.End()
 	valDur := time.Since(v0)
 
 	out := PAOutcome{
 		Design:        insts[target].Ch.Design.Name,
-		Success:       ev.ProximitySuccess(bestFrac, rng),
-		FixedSuccess:  ev.fixedThresholdPA(rng),
+		Success:       ev.ProximitySuccess(bestFrac, paRng),
+		FixedSuccess:  ev.fixedThresholdPA(paRng),
 		BestFrac:      bestFrac,
 		ValidationDur: valDur,
 	}
@@ -192,7 +237,8 @@ func paTarget(cfg Config, insts []*Instance, target int, ev *Evaluation,
 // design at index target, reusing its already-scored evaluation and
 // neighborhood radius from RunTarget (or from a full Run). Only the PA-LoC
 // validation stage is new work — the sibling targets' models are never
-// trained, matching the candidate-reuse semantics of RunProximityOn.
+// trained — and the outcome equals RunProximity's entry for the target:
+// PA randomness is derived from cfg.Seed and the target index alone.
 func ProximityTarget(cfg Config, chs []*split.Challenge, target int, ev *Evaluation, radiusNorm float64) (PAOutcome, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
@@ -211,8 +257,7 @@ func ProximityTarget(cfg Config, chs []*split.Challenge, target int, ev *Evaluat
 	sp := o.Begin("attack.pa-target", obs.F("design", chs[target].Design.Name))
 	defer sp.End()
 	insts := NewInstances(chs)
-	rng := rand.New(rand.NewSource(cfg.Seed + 31 + int64(target)*104729))
-	return paTarget(cfg, insts, target, ev, radiusNorm, rng, sp), nil
+	return paTarget(cfg, insts, target, ev, radiusNorm, sp), nil
 }
 
 // fixedThresholdPA is the pre-validation PA of [18]: the PA-LoC is simply
@@ -246,20 +291,22 @@ func (ev *Evaluation) proximityPickFixed(a, k int, rng *rand.Rand) (int32, bool)
 // validatePAFraction selects the PA-LoC fraction: 80% of each training
 // design's v-pins form a validation training set; the held-out 20% are
 // attacked with every candidate fraction; the fraction with the best mean
-// success rate wins.
-func validatePAFraction(cfg Config, trainInsts []*Instance, radiusNorm float64, rng *rand.Rand) float64 {
+// success rate wins. The split permutations and success-rate tie-breaks
+// consume the caller's per-target paRng sequentially; the validation model
+// trains in parallel from (cfg.Seed, unitPAModel, target) tree streams.
+func validatePAFraction(cfg Config, trainInsts []*Instance, radiusNorm float64, target int, paRng *rand.Rand) float64 {
 	fracs := DefaultPAFractions()
 	selected := make([][]int, len(trainInsts))
 	heldout := make([][]int, len(trainInsts))
 	for i, inst := range trainInsts {
-		perm := rng.Perm(inst.N())
+		perm := paRng.Perm(inst.N())
 		cut := inst.N() * 8 / 10
 		selected[i] = append([]int(nil), perm[:cut]...)
 		heldout[i] = append([]int(nil), perm[cut:]...)
 	}
 
-	ds := TrainingSet(cfg, trainInsts, radiusNorm, selected, rng)
-	model, err := trainModel(cfg, ds, rng)
+	ds := TrainingSet(cfg, trainInsts, radiusNorm, selected, paRng)
+	model, err := trainModelUnit(cfg, ds, unitPAModel, target)
 	if err != nil {
 		// Degenerate validation data (e.g. tiny tests): fall back to a
 		// mid-grid fraction rather than failing the whole attack.
@@ -275,7 +322,7 @@ func validatePAFraction(cfg Config, trainInsts []*Instance, radiusNorm float64, 
 	for _, f := range fracs {
 		var sum float64
 		for _, e := range evals {
-			sum += e.ProximitySuccess(f, rng)
+			sum += e.ProximitySuccess(f, paRng)
 		}
 		rate := sum / float64(len(evals))
 		if rate > bestRate {

@@ -1,21 +1,43 @@
 package attack
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/features"
 	"repro/internal/ml"
 	"repro/internal/obs"
+	"repro/internal/rng"
 	"repro/internal/split"
+)
+
+// Stream units name the independent random streams a target consumes.
+// Every stream is derived as rng.Derive(cfg.Seed, unit, target, index...),
+// so a unit's draws depend only on the seed and its coordinates — never on
+// what other units consumed or on which worker ran them. Renumbering these
+// constants changes every downstream result; treat them like the golden
+// values in internal/rng.
+const (
+	unitSampling    int64 = iota + 1 // training-set sampling for one target
+	unitLevel1                       // level-1 ensemble training (per tree)
+	unitLevel2Neg                    // level-2 negative draws (per instance)
+	unitLevel2Model                  // level-2 ensemble training (per tree)
+	unitPA                           // proximity-attack validation split
+	unitPAModel                      // proximity-attack model training (per tree)
 )
 
 // Result is the outcome of one leave-one-out attack run: one Evaluation per
 // design, each produced by a model trained on the other designs.
 type Result struct {
 	Config Config
-	Evals  []*Evaluation
+	// Evals[i] is the evaluation with design i held out. When Run returns
+	// a partial result alongside an error, entries for failed targets are
+	// nil.
+	Evals []*Evaluation
 	// RadiusNorm[i] is the neighborhood radius (fraction of die width)
 	// used when design i was the target; -1 without the Imp improvement.
 	RadiusNorm []float64
@@ -33,14 +55,19 @@ func (r *Result) MeanTestDur() time.Duration {
 }
 
 func (r *Result) meanDur(f func(*Evaluation) time.Duration) time.Duration {
-	if len(r.Evals) == 0 {
-		return 0
-	}
+	n := 0
 	var sum time.Duration
 	for _, e := range r.Evals {
+		if e == nil {
+			continue
+		}
 		sum += f(e)
+		n++
 	}
-	return sum / time.Duration(len(r.Evals))
+	if n == 0 {
+		return 0
+	}
+	return sum / time.Duration(n)
 }
 
 // NewInstances prepares challenges for attack runs.
@@ -73,14 +100,26 @@ func prepareRun(cfg Config, chs []*split.Challenge) (Config, error) {
 // for every challenge, a model is trained on all other challenges and used
 // to score the held-out one. All challenges must be cuts at the same split
 // layer.
+//
+// Targets run concurrently on cfg.Workers goroutines (0 = GOMAXPROCS).
+// Each target's randomness is an independent stream derived from cfg.Seed
+// and the target index (see internal/rng), so the result is bit-identical
+// at every worker count, including 1.
+//
+// A failing target does not abort its siblings: Run finishes every target
+// and, when some failed, returns the partial Result — nil Evals entries
+// and RadiusNorm -1 for the failures — together with the joined per-target
+// errors.
 func Run(cfg Config, chs []*split.Challenge) (*Result, error) {
 	cfg, err := prepareRun(cfg, chs)
 	if err != nil {
 		return nil, err
 	}
 	o := cfg.Obs
+	workers := cfg.workerCount(len(chs))
 	sp := o.Begin("attack.run", obs.F("config", cfg.Name),
-		obs.F("layer", chs[0].SplitLayer), obs.F("designs", len(chs)))
+		obs.F("layer", chs[0].SplitLayer), obs.F("designs", len(chs)),
+		obs.F("workers", workers))
 	defer sp.End()
 	start := time.Now()
 	insts := NewInstances(chs)
@@ -89,16 +128,43 @@ func Run(cfg Config, chs []*split.Challenge) (*Result, error) {
 		Evals:      make([]*Evaluation, len(insts)),
 		RadiusNorm: make([]float64, len(insts)),
 	}
-	for target := range insts {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(target)*7919))
-		ev, radius, err := runTarget(cfg, insts, target, rng, sp)
-		if err != nil {
-			return nil, err
-		}
-		res.Evals[target] = ev
-		res.RadiusNorm[target] = radius
+	errs := make([]error, len(insts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			done := o.Metrics().Counter(fmt.Sprintf("attack.worker.%d.targets", worker))
+			for {
+				target := int(next.Add(1)) - 1
+				if target >= len(insts) {
+					return
+				}
+				res.RadiusNorm[target] = -1
+				ev, radius, err := runTarget(cfg, insts, target, worker, sp)
+				if err != nil {
+					errs[target] = err
+					continue
+				}
+				res.Evals[target] = ev
+				res.RadiusNorm[target] = radius
+				done.Inc()
+			}
+		}(w)
 	}
+	wg.Wait()
 	res.TotalDur = time.Since(start)
+	if err := errors.Join(errs...); err != nil {
+		failed := 0
+		for _, e := range errs {
+			if e != nil {
+				failed++
+			}
+		}
+		return res, fmt.Errorf("attack: %s: %d of %d targets failed: %w",
+			cfg.Name, failed, len(insts), err)
+	}
 	return res, nil
 }
 
@@ -107,8 +173,9 @@ func Run(cfg Config, chs []*split.Challenge) (*Result, error) {
 // only the target, skipping the len(chs)-1 sibling runs Run would perform.
 // It returns the target's evaluation and the neighborhood radius used (as a
 // fraction of die width; -1 without the Imp improvement). The evaluation is
-// identical to Run(cfg, chs).Evals[target]: per-target randomness is
-// derived from cfg.Seed and the target index alone.
+// identical to Run(cfg, chs).Evals[target] at any worker count: every
+// random stream the target consumes is derived from cfg.Seed, a stream
+// unit, and the target index alone (see internal/rng).
 func RunTarget(cfg Config, chs []*split.Challenge, target int) (*Evaluation, float64, error) {
 	cfg, err := prepareRun(cfg, chs)
 	if err != nil {
@@ -121,8 +188,7 @@ func RunTarget(cfg Config, chs []*split.Challenge, target int) (*Evaluation, flo
 	o.Log().Info("single-target attack: skipping sibling leave-one-out runs",
 		"config", cfg.Name, "target", chs[target].Design.Name, "targets_skipped", len(chs)-1)
 	insts := NewInstances(chs)
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(target)*7919))
-	return runTarget(cfg, insts, target, rng, nil)
+	return runTarget(cfg, insts, target, 0, nil)
 }
 
 // others returns insts without the element at target.
@@ -136,13 +202,31 @@ func others(insts []*Instance, target int) []*Instance {
 	return out
 }
 
-// trainModel trains the configuration's classifier: the Bagging ensemble by
-// default, or a custom Learner when one is set.
-func trainModel(cfg Config, ds *ml.Dataset, rng *rand.Rand) (Scorer, error) {
+// trainModel trains the configuration's classifier — the Bagging ensemble
+// by default, or a custom Learner when one is set — consuming the single
+// shared rng sequentially. It is the legacy sequential path kept for
+// ScoreWithTrainingSet, whose callers own their rng; the engine itself
+// trains through trainModelUnit.
+func trainModel(cfg Config, ds *ml.Dataset, r *rand.Rand) (Scorer, error) {
 	if cfg.Learner != nil {
-		return cfg.Learner(ds, cfg, rng)
+		return cfg.Learner(ds, cfg, r)
 	}
-	return ml.TrainBaggingObs(cfg.Obs, ds, cfg.NumTrees, baseTreeOptions(cfg), rng)
+	return ml.TrainBaggingObs(cfg.Obs, ds, cfg.NumTrees, baseTreeOptions(cfg), r)
+}
+
+// trainModelUnit trains the configuration's classifier from streams derived
+// from (cfg.Seed, unit, target): a custom Learner receives the stream
+// (cfg.Seed, unit, target) whole, while the default Bagging ensemble trains
+// in parallel with tree t on stream (cfg.Seed, unit, target, t).
+func trainModelUnit(cfg Config, ds *ml.Dataset, unit int64, target int) (Scorer, error) {
+	if cfg.Learner != nil {
+		return cfg.Learner(ds, cfg, rng.Derive(cfg.Seed, unit, int64(target)))
+	}
+	streams := func(tree int) *rand.Rand {
+		return rng.Derive(cfg.Seed, unit, int64(target), int64(tree))
+	}
+	return ml.TrainBaggingStreams(cfg.Obs, ds, cfg.NumTrees, baseTreeOptions(cfg),
+		streams, cfg.workerCount(cfg.NumTrees))
 }
 
 func baseTreeOptions(cfg Config) ml.TreeOptions {
@@ -153,12 +237,15 @@ func baseTreeOptions(cfg Config) ml.TreeOptions {
 	return opts
 }
 
-// runTarget trains on all instances except target and scores target. The
-// span for the target nests under parent when one is given (Run's root
-// span), else at the context's root (RunTarget).
-func runTarget(cfg Config, insts []*Instance, target int, rng *rand.Rand, parent *obs.Span) (*Evaluation, float64, error) {
+// runTarget trains on all instances except target and scores target. All
+// randomness is drawn from streams derived from (cfg.Seed, unit, target),
+// so the result does not depend on which worker runs it or on sibling
+// targets. The span for the target nests under parent when one is given
+// (Run's root span), else at the context's root (RunTarget).
+func runTarget(cfg Config, insts []*Instance, target, worker int, parent *obs.Span) (*Evaluation, float64, error) {
 	o := cfg.Obs
-	sp := o.BeginUnder(parent, "target", obs.F("design", insts[target].Ch.Design.Name))
+	sp := o.BeginUnder(parent, "target",
+		obs.F("design", insts[target].Ch.Design.Name), obs.F("worker", worker))
 	trainInsts := others(insts, target)
 	radiusNorm := -1.0
 	if cfg.Neighborhood {
@@ -168,29 +255,29 @@ func runTarget(cfg Config, insts []*Instance, target int, rng *rand.Rand, parent
 
 	t0 := time.Now()
 	ssp := sp.Begin("sampling")
-	ds := TrainingSet(cfg, trainInsts, radiusNorm, nil, rng)
+	ds := TrainingSet(cfg, trainInsts, radiusNorm, nil, rng.Derive(cfg.Seed, unitSampling, int64(target)))
 	tSample := time.Now()
 	ssp.SetAttr("samples", ds.Len())
 	ssp.End()
 
 	l1sp := sp.Begin("train-level1", obs.F("samples", ds.Len()), obs.F("trees", cfg.NumTrees))
-	model, err := trainModel(cfg, ds, rng)
+	model, err := trainModelUnit(cfg, ds, unitLevel1, target)
 	tLevel1 := time.Now()
 	l1sp.End()
 	if err != nil {
 		sp.End()
-		return nil, 0, fmt.Errorf("attack: %s: %w", cfg.Name, err)
+		return nil, 0, fmt.Errorf("attack: %s: target %s: %w", cfg.Name, insts[target].Ch.Design.Name, err)
 	}
 	var sc Scorer = model
 	tLevel2 := tLevel1
 	if cfg.TwoLevel {
 		l2sp := sp.Begin("train-level2")
-		level2, err := trainLevel2(cfg, trainInsts, model, radiusNorm, rng)
+		level2, err := trainLevel2(cfg, trainInsts, model, radiusNorm, target)
 		tLevel2 = time.Now()
 		l2sp.End()
 		if err != nil {
 			sp.End()
-			return nil, 0, err
+			return nil, 0, fmt.Errorf("attack: %s: target %s: %w", cfg.Name, insts[target].Ch.Design.Name, err)
 		}
 		sc = &twoLevelScorer{l1: model, l2: level2}
 	}
@@ -216,60 +303,106 @@ func runTarget(cfg Config, insts []*Instance, target int, rng *rand.Rand, parent
 // ScoreWithTrainingSet trains a model on a caller-provided training set and
 // scores the target instance with it. It exposes the engine's internals for
 // ablation studies (custom sampling schemes); normal attacks should use Run.
-func ScoreWithTrainingSet(cfg Config, ds *ml.Dataset, target *Instance, radiusNorm float64, rng *rand.Rand) (*Evaluation, error) {
+// Training consumes the caller's rng sequentially (the caller controls
+// reproducibility); only candidate-pair scoring runs in parallel.
+func ScoreWithTrainingSet(cfg Config, ds *ml.Dataset, target *Instance, radiusNorm float64, r *rand.Rand) (*Evaluation, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	model, err := trainModel(cfg, ds, rng)
+	model, err := trainModel(cfg, ds, r)
 	if err != nil {
 		return nil, err
 	}
 	return scoreTarget(model, target, cfg, radiusNorm), nil
 }
 
+// level2Sample is one two-level-pruning training row: a feature vector and
+// its class.
+type level2Sample struct {
+	row []float64
+	pos bool
+}
+
+// level2Samples scores one training design with the level-1 model and
+// collects its two-level training rows: every admitted true pair as a
+// positive, plus per v-pin one "high-quality" negative sampled uniformly
+// from the v-pin's level-1 LoC (candidates the level-1 model scored at or
+// above 0.5, excluding the truth). The negative draws consume the stream
+// (cfg.Seed, unitLevel2Neg, target, instIdx) in v-pin order, so the
+// samples are independent of how sibling designs are scheduled.
+func level2Samples(cfg Config, inst *Instance, l1 Scorer, radiusNorm float64, target, instIdx int) []level2Sample {
+	filter := newPairFilter(inst, cfg, radiusNorm)
+	ev := scoreTarget(l1, inst, cfg, radiusNorm)
+	negRng := rng.Derive(cfg.Seed, unitLevel2Neg, int64(target), int64(instIdx))
+	var out []level2Sample
+	for a := 0; a < inst.N(); a++ {
+		m := inst.Match(a)
+		if filter.admits(a, m) {
+			row := make([]float64, features.NumFeatures)
+			inst.Ex.Pair(a, m, row)
+			out = append(out, level2Sample{row: row, pos: true})
+		}
+		// Collect the level-1 LoC of a (p >= 0.5, excluding the truth)
+		// and sample one high-quality negative from it.
+		cands := ev.Cands[a]
+		loc := cands[:0:0]
+		for _, c := range cands {
+			if c.P < 0.5 {
+				break // sorted descending
+			}
+			if int(c.Other) != m {
+				loc = append(loc, c)
+			}
+		}
+		if len(loc) == 0 {
+			continue
+		}
+		pick := loc[negRng.Intn(len(loc))]
+		row := make([]float64, features.NumFeatures)
+		inst.Ex.Pair(a, int(pick.Other), row)
+		out = append(out, level2Sample{row: row, pos: false})
+	}
+	return out
+}
+
 // trainLevel2 implements two-level pruning (§III-E): the level-1 model is
 // applied to the training designs themselves; every v-pin's level-1 LoC
 // (threshold 0.5) supplies one "high-quality" negative — a candidate the
 // level-1 model could not reject — and the level-2 model is trained on
-// these negatives plus all positives.
-func trainLevel2(cfg Config, trainInsts []*Instance, l1 Scorer, radiusNorm float64, rng *rand.Rand) (Scorer, error) {
+// these negatives plus all positives. The per-design scoring fans out
+// across cfg.Workers goroutines; samples are assembled in design order, so
+// the level-2 training set (and hence the model) is identical at any
+// worker count.
+func trainLevel2(cfg Config, trainInsts []*Instance, l1 Scorer, radiusNorm float64, target int) (Scorer, error) {
+	perInst := make([][]level2Sample, len(trainInsts))
+	workers := cfg.workerCount(len(trainInsts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(trainInsts) {
+					return
+				}
+				perInst[i] = level2Samples(cfg, trainInsts[i], l1, radiusNorm, target, i)
+			}
+		}()
+	}
+	wg.Wait()
 	ds := &ml.Dataset{}
-	for _, inst := range trainInsts {
-		filter := newPairFilter(inst, cfg, radiusNorm)
-		ev := scoreTarget(l1, inst, cfg, radiusNorm)
-		for a := 0; a < inst.N(); a++ {
-			m := inst.Match(a)
-			if filter.admits(a, m) {
-				row := make([]float64, features.NumFeatures)
-				inst.Ex.Pair(a, m, row)
-				ds.Add(row, true)
-			}
-			// Collect the level-1 LoC of a (p >= 0.5, excluding the truth)
-			// and sample one high-quality negative from it.
-			cands := ev.Cands[a]
-			loc := cands[:0:0]
-			for _, c := range cands {
-				if c.P < 0.5 {
-					break // sorted descending
-				}
-				if int(c.Other) != m {
-					loc = append(loc, c)
-				}
-			}
-			if len(loc) == 0 {
-				continue
-			}
-			pick := loc[rng.Intn(len(loc))]
-			row := make([]float64, features.NumFeatures)
-			inst.Ex.Pair(a, int(pick.Other), row)
-			ds.Add(row, false)
+	for _, samples := range perInst {
+		for _, s := range samples {
+			ds.Add(s.row, s.pos)
 		}
 	}
 	if ds.Len() == 0 {
 		return nil, fmt.Errorf("attack: two-level pruning produced no training samples")
 	}
-	return trainModel(cfg, ds, rng)
+	return trainModelUnit(cfg, ds, unitLevel2Model, target)
 }
 
 // twoLevelScorer composes the two pruning levels: pairs the level-1 model

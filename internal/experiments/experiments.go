@@ -9,10 +9,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/attack"
 	"repro/internal/layout"
@@ -22,11 +25,19 @@ import (
 )
 
 // Suite is the generated benchmark suite plus caches of challenges and
-// attack results.
+// attack results. A Suite is safe for concurrent use: caches are
+// mutex-guarded and attack results depend only on (Seed, config, layer),
+// never on which goroutine computed them.
 type Suite struct {
 	Designs []*layout.Design
 	Scale   float64
 	Seed    int64
+
+	// Workers bounds the goroutines of every attack run and config sweep
+	// started through this suite (propagated into attack.Config.Workers
+	// unless the config sets its own). Zero selects GOMAXPROCS. Results
+	// are bit-identical at any worker count.
+	Workers int
 
 	// Obs, when non-nil, receives cache hit/miss counters, spans, and logs
 	// from every suite operation and is propagated into attack runs.
@@ -48,11 +59,21 @@ func NewSuite(scale float64, seed int64) (*Suite, error) {
 // NewSuiteObs is NewSuite with an observability context (nil disables it)
 // that instruments suite generation and every subsequent suite operation.
 func NewSuiteObs(o *obs.Context, scale float64, seed int64) (*Suite, error) {
-	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Scale: scale, Seed: seed})
+	return NewSuiteParallel(o, scale, seed, 0)
+}
+
+// NewSuiteParallel is NewSuiteObs with an explicit worker bound (0 =
+// GOMAXPROCS): the benchmark designs are generated concurrently, and the
+// bound is inherited by every attack run and config sweep started through
+// the suite. Generation is per-design deterministic, so the suite is
+// identical at any worker count.
+func NewSuiteParallel(o *obs.Context, scale float64, seed int64, workers int) (*Suite, error) {
+	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Scale: scale, Seed: seed, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
 	s := NewSuiteFromDesigns(designs, scale, seed)
+	s.Workers = workers
 	s.Obs = o
 	return s, nil
 }
@@ -131,6 +152,20 @@ func (s *Suite) NoisyChallenges(layer int, sd float64) ([]*split.Challenge, erro
 	return chs, nil
 }
 
+// prepare stamps a config with the suite's seed, worker bound, and
+// observability context before an attack run. A config's own Workers, when
+// set, wins over the suite's.
+func (s *Suite) prepare(cfg attack.Config) attack.Config {
+	cfg.Seed = s.Seed
+	if cfg.Workers == 0 {
+		cfg.Workers = s.Workers
+	}
+	if s.Obs != nil {
+		cfg.Obs = s.Obs
+	}
+	return cfg
+}
+
 // Run executes (and caches) a leave-one-out attack run of cfg at the given
 // split layer.
 func (s *Suite) Run(cfg attack.Config, layer int) (*attack.Result, error) {
@@ -148,11 +183,7 @@ func (s *Suite) Run(cfg attack.Config, layer int) (*attack.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg.Seed = s.Seed
-	if s.Obs != nil {
-		cfg.Obs = s.Obs
-	}
-	r, err := attack.Run(cfg, chs)
+	r, err := attack.Run(s.prepare(cfg), chs)
 	if err != nil {
 		return nil, err
 	}
@@ -192,11 +223,7 @@ func (s *Suite) RunPA(cfg attack.Config, layer int, sd float64) ([]attack.PAOutc
 			return nil, err
 		}
 	}
-	cfg.Seed = s.Seed
-	if s.Obs != nil {
-		cfg.Obs = s.Obs
-	}
-	o, err := attack.RunProximityOn(cfg, chs, prior)
+	o, err := attack.RunProximityOn(s.prepare(cfg), chs, prior)
 	if err != nil {
 		return nil, err
 	}
@@ -226,11 +253,7 @@ func (s *Suite) RunNoisy(cfg attack.Config, layer int, sd float64) (*attack.Resu
 	if err != nil {
 		return nil, err
 	}
-	cfg.Seed = s.Seed
-	if s.Obs != nil {
-		cfg.Obs = s.Obs
-	}
-	r, err := attack.Run(cfg, chs)
+	r, err := attack.Run(s.prepare(cfg), chs)
 	if err != nil {
 		return nil, err
 	}
@@ -238,6 +261,67 @@ func (s *Suite) RunNoisy(cfg attack.Config, layer int, sd float64) (*attack.Resu
 	s.runs[key] = r
 	s.mu.Unlock()
 	return r, nil
+}
+
+// sweep runs fn for every index in 0..n-1 on a bounded pool (suite worker
+// bound capped at n) and joins the per-index errors. Each index's work is
+// deterministic on its own, so the sweep result does not depend on the
+// worker count.
+func (s *Suite) sweep(n int, fn func(i int) error) error {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// RunAll executes (and caches) the leave-one-out attack runs of all
+// configs at the given split layer, sweeping the configs across the
+// suite's worker pool. Results are position-matched to cfgs and identical
+// to len(cfgs) sequential Run calls; table experiments use this to
+// prefetch every column before printing.
+func (s *Suite) RunAll(cfgs []attack.Config, layer int) ([]*attack.Result, error) {
+	out := make([]*attack.Result, len(cfgs))
+	err := s.sweep(len(cfgs), func(i int) error {
+		r, err := s.Run(cfgs[i], layer)
+		out[i] = r
+		return err
+	})
+	return out, err
+}
+
+// RunPAAll executes (and caches) the validation-based proximity attacks of
+// all configs at the given split layer and noise level, sweeping the
+// configs across the suite's worker pool. Results are position-matched to
+// cfgs and identical to sequential RunPA calls.
+func (s *Suite) RunPAAll(cfgs []attack.Config, layer int, sd float64) ([][]attack.PAOutcome, error) {
+	out := make([][]attack.PAOutcome, len(cfgs))
+	err := s.sweep(len(cfgs), func(i int) error {
+		o, err := s.RunPA(cfgs[i], layer, sd)
+		out[i] = o
+		return err
+	})
+	return out, err
 }
 
 // nnPA returns the nearest-neighbour PA success of design d at the given

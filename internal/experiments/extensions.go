@@ -100,11 +100,12 @@ func ExtClassifiers(s *Suite, w io.Writer) error {
 		fmt.Fprintf(w, "Extension: classifier comparison - split layer %d (Imp-11 pipeline)\n", layer)
 		tw := newTab(w)
 		fmt.Fprintln(tw, "classifier\tacc@|LoC|=5\tacc@|LoC|=20\tpair AUC\truntime")
-		for _, cfg := range configs {
-			res, err := s.Run(cfg, layer)
-			if err != nil {
-				return err
-			}
+		results, err := s.RunAll(configs, layer)
+		if err != nil {
+			return err
+		}
+		for ci, cfg := range configs {
+			res := results[ci]
 			var a5, a20, auc float64
 			for _, ev := range res.Evals {
 				a5 += ev.AccuracyAtK(5)
@@ -202,8 +203,7 @@ func ExtDefense(s *Suite, w io.Writer) error {
 		}
 		cfg := attack.Imp11()
 		cfg.Name = fmt.Sprintf("Imp-11-def%d", vi)
-		cfg.Seed = s.Seed
-		res, err := attack.Run(cfg, chs)
+		res, err := attack.Run(s.prepare(cfg), chs)
 		if err != nil {
 			return err
 		}

@@ -49,11 +49,9 @@ func TableI(s *Suite, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		results := make([]*attack.Result, len(configs))
-		for i, cfg := range configs {
-			if results[i], err = s.Run(cfg, layer); err != nil {
-				return err
-			}
+		results, err := s.RunAll(configs, layer)
+		if err != nil {
+			return err
 		}
 
 		fmt.Fprintf(w, "Table I - split layer %d\n", layer)
@@ -219,11 +217,13 @@ func TableIV(s *Suite, w io.Writer) error {
 			fmt.Fprintf(tw, "acc@%.2f%%\t", f*100)
 		}
 		fmt.Fprintln(tw, "runtime")
-		for _, cfg := range tableIVConfigs(layer) {
-			res, err := s.Run(cfg, layer)
-			if err != nil {
-				return err
-			}
+		configs := tableIVConfigs(layer)
+		results, err := s.RunAll(configs, layer)
+		if err != nil {
+			return err
+		}
+		for i, cfg := range configs {
+			res := results[i]
 			fmt.Fprintf(tw, "%s\t", cfg.Name)
 			for _, a := range accTargets {
 				fmt.Fprintf(tw, "%s\t", fmtFrac(attack.AggregateLoCFracForAccuracy(res.Evals, a, 0.14)))
@@ -254,11 +254,9 @@ func TableV(s *Suite, w io.Writer) error {
 			return err
 		}
 		configs := tableIVConfigs(layer)
-		outcomes := make([][]attack.PAOutcome, len(configs))
-		for i, cfg := range configs {
-			if outcomes[i], err = s.RunPA(cfg, layer, 0); err != nil {
-				return err
-			}
+		outcomes, err := s.RunPAAll(configs, layer, 0)
+		if err != nil {
+			return err
 		}
 
 		fmt.Fprintf(w, "Table V - split layer %d\n", layer)

@@ -7,8 +7,12 @@
 package layout
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cell"
 	"repro/internal/geom"
@@ -162,6 +166,10 @@ type SuiteConfig struct {
 	Scale float64
 	// Seed offsets all design seeds, for generating independent suites.
 	Seed int64
+	// Workers bounds the goroutines generating designs concurrently. Zero
+	// or negative selects GOMAXPROCS. Each design is generated from its own
+	// profile seed, so the suite is identical at any worker count.
+	Workers int
 }
 
 // SuiteProfiles returns the five superblue-like design profiles at the
@@ -247,28 +255,56 @@ func GenerateSuite(cfg SuiteConfig) ([]*Design, error) {
 }
 
 // GenerateSuiteObs is GenerateSuite with per-design spans, logs, and
-// counters on an observability context (nil disables them).
+// counters on an observability context (nil disables them). Designs are
+// generated concurrently on up to cfg.Workers goroutines (0 = GOMAXPROCS);
+// each design is deterministic in its own profile seed, so the returned
+// suite is identical at any worker count.
 func GenerateSuiteObs(o *obs.Context, cfg SuiteConfig) ([]*Design, error) {
 	profiles := SuiteProfiles(cfg)
-	sp := o.Begin("layout.suite",
-		obs.F("scale", cfg.Scale), obs.F("seed", cfg.Seed), obs.F("designs", len(profiles)))
-	designs := make([]*Design, 0, len(profiles))
-	for _, p := range profiles {
-		dsp := sp.Begin("design", obs.F("name", p.Name))
-		d, err := Generate(p)
-		if err != nil {
-			dsp.End()
-			sp.End()
-			return nil, err
-		}
-		dsp.SetAttr("cells", len(d.Netlist.Cells))
-		dsp.SetAttr("nets", len(d.Netlist.Nets))
-		dsp.End()
-		o.Metrics().Counter("layout.designs.generated").Inc()
-		o.Log().Debug("design generated", "name", d.Name,
-			"cells", len(d.Netlist.Cells), "nets", len(d.Netlist.Nets))
-		designs = append(designs, d)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(profiles) {
+		workers = len(profiles)
+	}
+	sp := o.Begin("layout.suite", obs.F("scale", cfg.Scale), obs.F("seed", cfg.Seed),
+		obs.F("designs", len(profiles)), obs.F("workers", workers))
+	designs := make([]*Design, len(profiles))
+	errs := make([]error, len(profiles))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(profiles) {
+					return
+				}
+				p := profiles[i]
+				dsp := sp.Begin("design", obs.F("name", p.Name))
+				d, err := Generate(p)
+				if err != nil {
+					dsp.End()
+					errs[i] = err
+					continue
+				}
+				dsp.SetAttr("cells", len(d.Netlist.Cells))
+				dsp.SetAttr("nets", len(d.Netlist.Nets))
+				dsp.End()
+				o.Metrics().Counter("layout.designs.generated").Inc()
+				o.Log().Debug("design generated", "name", d.Name,
+					"cells", len(d.Netlist.Cells), "nets", len(d.Netlist.Nets))
+				designs[i] = d
+			}
+		}()
+	}
+	wg.Wait()
 	sp.End()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
 	return designs, nil
 }

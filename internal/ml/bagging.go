@@ -1,8 +1,11 @@
 package ml
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/obs"
 )
@@ -12,6 +15,9 @@ import (
 // of the per-tree leaf-frequency probabilities (paper eq. 1-3), and the
 // binary prediction applies a threshold — 0.5 by default, but the attack
 // varies it to control LoC sizes (paper §III-F).
+//
+// A trained Bagging is immutable; Prob, Predict, and Nodes are safe for
+// concurrent use from any number of goroutines.
 type Bagging struct {
 	Trees []*Tree
 }
@@ -24,13 +30,19 @@ const DefaultBaggingSize = 10
 // RandomForest, the slower baseline the paper compares against.
 const DefaultForestSize = 100
 
-// TrainBagging trains n base trees on independent bootstrap resamples.
+// TrainBagging trains n base trees sequentially on independent bootstrap
+// resamples, all drawn from the single shared rng. The resulting ensemble
+// depends on the rng's state and on every draw made during training; for
+// the scheduling-independent parallel path used by the attack engine, see
+// TrainBaggingStreams.
 func TrainBagging(ds *Dataset, n int, opts TreeOptions, rng *rand.Rand) (*Bagging, error) {
 	return TrainBaggingObs(nil, ds, n, opts, rng)
 }
 
 // TrainBaggingObs is TrainBagging reporting per-ensemble logs and per-tree
-// size metrics to an observability context (nil disables both).
+// size metrics to an observability context (nil disables both). Training is
+// sequential: tree i's bootstrap resample and induction randomness are
+// consumed from the shared rng in tree order.
 func TrainBaggingObs(o *obs.Context, ds *Dataset, n int, opts TreeOptions, rng *rand.Rand) (*Bagging, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("ml: bagging size %d must be positive", n)
@@ -47,19 +59,78 @@ func TrainBaggingObs(o *obs.Context, ds *Dataset, n int, opts TreeOptions, rng *
 		}
 		b.Trees = append(b.Trees, t)
 	}
-	if o.Enabled() {
-		h := o.Metrics().Histogram("ml.tree.nodes")
-		for _, t := range b.Trees {
-			h.Observe(float64(t.Nodes()))
-		}
-		o.Metrics().Counter("ml.trees.trained").Add(int64(n))
-		o.Log().Debug("bagging trained", "trees", n, "samples", ds.Len(), "nodes", b.Nodes())
-	}
+	observeEnsemble(o, b, ds, n)
 	return b, nil
 }
 
+// TrainBaggingStreams trains the n base trees on up to workers goroutines.
+// Tree i draws its bootstrap resample and all induction randomness (the
+// REPTree grow/prune split, RandomTree per-node feature sampling)
+// exclusively from streams(i), so the trained ensemble depends only on the
+// streams, never on scheduling: any worker count, including 1, yields a
+// bit-identical model. This is the training path behind the attack
+// engine's determinism guarantee (see internal/rng).
+//
+// streams is called at most once per tree, possibly from several
+// goroutines concurrently, and must return an independent generator per
+// index (a pure derivation such as rng.Derive qualifies). workers <= 0
+// selects one goroutine per tree, capped at the tree count. The dataset is
+// only read; it must not be mutated concurrently.
+func TrainBaggingStreams(o *obs.Context, ds *Dataset, n int, opts TreeOptions, streams func(tree int) *rand.Rand, workers int) (*Bagging, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ml: bagging size %d must be positive", n)
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	trees := make([]*Tree, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				r := streams(i)
+				boot := ds.Bootstrap(r)
+				trees[i], errs[i] = TrainTree(boot, opts, r)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	b := &Bagging{Trees: trees}
+	observeEnsemble(o, b, ds, n)
+	return b, nil
+}
+
+// observeEnsemble reports the per-tree size metrics and the ensemble log
+// line shared by both training paths.
+func observeEnsemble(o *obs.Context, b *Bagging, ds *Dataset, n int) {
+	if !o.Enabled() {
+		return
+	}
+	h := o.Metrics().Histogram("ml.tree.nodes")
+	for _, t := range b.Trees {
+		h.Observe(float64(t.Nodes()))
+	}
+	o.Metrics().Counter("ml.trees.trained").Add(int64(n))
+	o.Log().Debug("bagging trained", "trees", n, "samples", ds.Len(), "nodes", b.Nodes())
+}
+
 // TrainRandomForest is Bagging with RandomTree base classifiers — Weka's
-// RandomForest, used by the paper's earlier configuration [18].
+// RandomForest, used by the paper's earlier configuration [18]. Like
+// TrainBagging it trains sequentially from the shared rng.
 func TrainRandomForest(ds *Dataset, n int, features []int, rng *rand.Rand) (*Bagging, error) {
 	return TrainBagging(ds, n, TreeOptions{Kind: RandomTree, Features: features, MinLeaf: 1}, rng)
 }

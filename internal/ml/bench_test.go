@@ -53,3 +53,26 @@ func BenchmarkTrainBaggingREPTree(b *testing.B) {
 		}
 	}
 }
+
+// benchTrainStreams measures parallel ensemble training at a fixed worker
+// count; compare across counts for the tree-level speedup.
+func benchTrainStreams(b *testing.B, workers int) {
+	seedRng := rand.New(rand.NewSource(2))
+	ds := noisyData(5000, 0.15, seedRng)
+	streams := func(tree int) *rand.Rand {
+		return rand.New(rand.NewSource(int64(tree) + 1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainBaggingStreams(nil, ds, 32, TreeOptions{Kind: REPTree}, streams, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainBaggingStreams1(b *testing.B) { benchTrainStreams(b, 1) }
+func BenchmarkTrainBaggingStreams2(b *testing.B) { benchTrainStreams(b, 2) }
+func BenchmarkTrainBaggingStreams4(b *testing.B) { benchTrainStreams(b, 4) }
+func BenchmarkTrainBaggingStreamsMax(b *testing.B) {
+	benchTrainStreams(b, 0) // one goroutine per tree, capped at 32
+}

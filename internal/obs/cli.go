@@ -26,6 +26,11 @@ type CLI struct {
 	CPUProfile  string
 	MemProfile  string
 	ShowVersion bool
+	// Workers bounds the worker goroutines of parallel pipeline stages
+	// (suite generation, per-target attack runs, ensemble training, config
+	// sweeps). Zero selects GOMAXPROCS. Results are bit-identical at any
+	// value.
+	Workers int
 
 	cpuFile *os.File
 }
@@ -33,6 +38,7 @@ type CLI struct {
 // Register installs the flags on fs.
 func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Verbose, "v", false, "verbose: structured span/phase logs on stderr")
+	fs.IntVar(&c.Workers, "workers", 0, "max worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical at any value")
 	fs.StringVar(&c.LogFormat, "log-format", "text", "log format: text or json")
 	fs.StringVar(&c.ReportPath, "report", "", "write a JSON run report to this path")
 	fs.BoolVar(&c.DumpMetrics, "metrics", false, "dump the metrics registry to stderr at exit")

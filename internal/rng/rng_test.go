@@ -1,0 +1,89 @@
+package rng
+
+import "testing"
+
+// TestMixGolden pins the derivation scheme. These values are load-bearing:
+// every attack result in the repository is derived from them, so a change
+// here means every downstream number changes too. Do not update them
+// without treating the change as a breaking one.
+func TestMixGolden(t *testing.T) {
+	cases := []struct {
+		seed  int64
+		units []int64
+		want  int64
+	}{
+		{0, nil, -2152535657050944081},
+		{1, nil, -7995527694508729151},
+		{1, []int64{0}, -6482174287984436265},
+		{1, []int64{1}, 1865470226598487700},
+		{1, []int64{2, 3}, -2562507227404908140},
+		{-7, []int64{42}, 286595219011487410},
+	}
+	for _, c := range cases {
+		if got := Mix(c.seed, c.units...); got != c.want {
+			t.Errorf("Mix(%d, %v) = %d, want %d", c.seed, c.units, got, c.want)
+		}
+	}
+	if got := Derive(1, 2, 3).Int63(); got != 5295073975730184390 {
+		t.Errorf("Derive(1,2,3).Int63() = %d, want 5295073975730184390", got)
+	}
+}
+
+func TestMixPathSensitivity(t *testing.T) {
+	if Mix(1, 1, 2) == Mix(1, 2, 1) {
+		t.Error("Mix is not order-sensitive")
+	}
+	if Mix(1) == Mix(1, 0) {
+		t.Error("Mix is not length-sensitive")
+	}
+	if Mix(1, 5) == Mix(1, 5, 0) {
+		t.Error("Mix path extension by zero collides")
+	}
+	if Mix(1, 5) == Mix(2, 5) {
+		t.Error("Mix ignores the seed")
+	}
+	// Regression: a symmetric combiner makes the chain state and the unit
+	// hash commute, colliding whenever seed and first unit swap.
+	if Mix(1, 0) == Mix(0, 1) {
+		t.Error("Mix seed/unit swap collides")
+	}
+}
+
+// TestMixNoCollisions checks that the paths the attack engine actually
+// uses — small seeds, a handful of unit dimensions, small indices — derive
+// all-distinct seeds.
+func TestMixNoCollisions(t *testing.T) {
+	seen := map[int64][]int64{}
+	for seed := int64(0); seed < 4; seed++ {
+		for unit := int64(0); unit < 8; unit++ {
+			for a := int64(0); a < 16; a++ {
+				for b := int64(0); b < 16; b++ {
+					v := Mix(seed, unit, a, b)
+					if prev, ok := seen[v]; ok {
+						t.Fatalf("collision: (%d,%d,%d,%d) and %v both derive %d",
+							seed, unit, a, b, prev, v)
+					}
+					seen[v] = []int64{seed, unit, a, b}
+				}
+			}
+		}
+	}
+}
+
+// TestDeriveIndependentStreams checks that Derive hands out generators
+// whose draws do not depend on what other derived generators consumed —
+// the property that makes per-unit streams safe to use from any worker in
+// any order.
+func TestDeriveIndependentStreams(t *testing.T) {
+	a1 := Derive(9, 1)
+	b := Derive(9, 2)
+	for i := 0; i < 100; i++ {
+		b.Int63() // consuming stream 2 must not affect stream 1
+	}
+	a2 := Derive(9, 1)
+	for i := 0; i < 100; i++ {
+		if a1.Int63() != a2.Int63() {
+			t.Fatalf("stream (9,1) not reproducible at draw %d", i)
+		}
+	}
+}
