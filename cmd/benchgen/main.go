@@ -9,12 +9,15 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"text/tabwriter"
 
+	"repro/internal/attack"
 	"repro/internal/layout"
 	"repro/internal/obs"
 	"repro/internal/route"
@@ -26,6 +29,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "suite scale factor")
 	seed := flag.Int64("seed", 1, "generation seed")
 	out := flag.String("o", "", "directory to write <design>.sml files to")
+	scoringBench := flag.String("scoring-bench", "",
+		"measure pair-scoring throughput (scalar oracle vs batched arena) on the generated suite and write the baseline JSON to this file, e.g. BENCH_scoring.json")
 	var cli obs.CLI
 	cli.Register(flag.CommandLine)
 	flag.Parse()
@@ -123,10 +128,101 @@ func main() {
 	}
 	tw.Flush()
 
+	if *scoringBench != "" {
+		if err := writeScoringBench(*scoringBench, designs, *scale, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote scoring baseline to %s\n", *scoringBench)
+	}
+
 	configMap := map[string]any{"scale": *scale, "seed": *seed, "workers": cli.Workers}
 	summary := map[string]any{"designs": designStats}
 	if err := cli.Finish(o, configMap, summary); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// scoringBenchEntry is one config's scalar-vs-batch scoring measurement in
+// the BENCH_scoring.json baseline.
+type scoringBenchEntry struct {
+	Config string `json:"config"`
+	// Pairs is the number of candidate pairs scored for the measured target.
+	Pairs int64 `json:"pairs"`
+	// ScalarPairsPerSec and BatchPairsPerSec are the scoring-phase
+	// throughputs (Evaluation.TestDur over PairsScored) of the per-pair
+	// oracle and the batched arena path.
+	ScalarPairsPerSec float64 `json:"scalar_pairs_per_sec"`
+	BatchPairsPerSec  float64 `json:"batch_pairs_per_sec"`
+	Speedup           float64 `json:"speedup"`
+	// Batches and BatchRows are the batch path's ProbBatch call and row
+	// counts (level 1 + level 2).
+	Batches   int64 `json:"batches"`
+	BatchRows int64 `json:"batch_rows"`
+	// MallocsPerPair is the heap-allocation count of the whole target run
+	// (training included) divided by the pairs scored, per path — a coarse
+	// trajectory metric; the steady-state scoring loop itself allocates
+	// nothing on the batch path (guarded by testing.AllocsPerRun in
+	// internal/attack).
+	ScalarMallocsPerPair float64 `json:"scalar_mallocs_per_pair"`
+	BatchMallocsPerPair  float64 `json:"batch_mallocs_per_pair"`
+}
+
+// writeScoringBench trains and scores one leave-one-out target per standard
+// configuration at split layer 6, once through the scalar oracle and once
+// through the batched arena path, and writes the throughput baseline.
+func writeScoringBench(path string, designs []*layout.Design, scale float64, seed int64) error {
+	chs := make([]*split.Challenge, 0, len(designs))
+	for _, d := range designs {
+		c, err := split.NewChallenge(d, 6)
+		if err != nil {
+			return err
+		}
+		chs = append(chs, c)
+	}
+	twoLevel := attack.WithTwoLevel(attack.Imp11())
+	twoLevel.Name += "-2L"
+	configs := []attack.Config{attack.ML9(), attack.Imp11(), twoLevel}
+	entries := make([]scoringBenchEntry, 0, len(configs))
+	for _, cfg := range configs {
+		cfg.Seed = seed
+		entry := scoringBenchEntry{Config: cfg.Name}
+		for _, scalar := range []bool{true, false} {
+			c := cfg
+			c.ScalarScoring = scalar
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			ev, _, err := attack.RunTarget(c, chs, 0)
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				return fmt.Errorf("scoring bench %s: %w", c.Name, err)
+			}
+			pps := float64(ev.PairsScored) / ev.TestDur.Seconds()
+			mallocs := float64(after.Mallocs-before.Mallocs) / float64(ev.PairsScored)
+			if scalar {
+				entry.Pairs = ev.PairsScored
+				entry.ScalarPairsPerSec = pps
+				entry.ScalarMallocsPerPair = mallocs
+			} else {
+				entry.BatchPairsPerSec = pps
+				entry.BatchMallocsPerPair = mallocs
+				entry.Batches = ev.Batches
+				entry.BatchRows = ev.BatchRows
+			}
+		}
+		entry.Speedup = entry.BatchPairsPerSec / entry.ScalarPairsPerSec
+		entries = append(entries, entry)
+	}
+	doc := map[string]any{
+		"scale":       scale,
+		"seed":        seed,
+		"split_layer": 6,
+		"configs":     entries,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

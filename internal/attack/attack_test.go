@@ -18,7 +18,7 @@ var (
 	fixChs  map[int][]*split.Challenge
 )
 
-func challenges(t *testing.T, layer int) []*split.Challenge {
+func challenges(t testing.TB, layer int) []*split.Challenge {
 	t.Helper()
 	fixOnce.Do(func() {
 		designs, err := layout.GenerateSuite(layout.SuiteConfig{Scale: 0.2, Seed: 5})

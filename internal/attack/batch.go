@@ -1,0 +1,129 @@
+package attack
+
+import "repro/internal/features"
+
+// batchEngine is the batched scoring fast path of scoreSubset: the
+// batch-capable form of a trained model. b2 is the level-2 model under
+// two-level pruning, nil otherwise.
+type batchEngine struct {
+	b1 BatchScorer
+	b2 BatchScorer
+}
+
+// batchable resolves a trained model into its batch engine, or nil when
+// any component only supports scalar Prob (custom Learners, or the
+// ScalarScoring oracle path). A two-level model batches only when both
+// levels do: mixing a batched level with a scalar one would complicate the
+// contract for no caller that exists.
+func batchable(model Scorer) *batchEngine {
+	switch m := model.(type) {
+	case *twoLevelScorer:
+		b1, ok1 := m.l1.(BatchScorer)
+		b2, ok2 := m.l2.(BatchScorer)
+		if ok1 && ok2 {
+			return &batchEngine{b1: b1, b2: b2}
+		}
+	case BatchScorer:
+		return &batchEngine{b1: m}
+	}
+	return nil
+}
+
+// batchBuf is one scoring worker's reusable gather arena. All slices grow
+// to the largest candidate set the worker has seen and are then reused, so
+// steady-state gathering and scoring allocate nothing.
+type batchBuf struct {
+	// ids[k] is the k-th admitted candidate of the current v-pin, in
+	// enumeration order — the same order the scalar path scores in, which
+	// is what keeps heap tie-breaking identical.
+	ids []int32
+	// d[k] is the ManhattanVpin distance of candidate k.
+	d []float32
+	// rows is the row-major feature matrix: candidate k occupies
+	// rows[k*features.NumFeatures : (k+1)*features.NumFeatures].
+	rows []float64
+	// p[k] is candidate k's final probability; under two-level pruning it
+	// passes through the level-1 gate first (see score).
+	p []float64
+	// p2 holds level-2 probabilities of the gate's survivors.
+	p2 []float64
+	// batches and batchRows count ProbBatch calls and the rows scored
+	// through them, reported on the scoring span.
+	batches, batchRows int64
+}
+
+// gather collects v-pin a's admitted candidates: ids, distances, and the
+// feature matrix, in the exact enumeration order of the scalar path.
+func (bb *batchBuf) gather(inst *Instance, filter pairFilter, a int) {
+	const stride = features.NumFeatures
+	bb.ids = bb.ids[:0]
+	bb.d = bb.d[:0]
+	bb.rows = bb.rows[:0]
+	inst.ix.candidates(a, filter.radius, filter.yLimit, func(b32 int32) {
+		b := int(b32)
+		if !inst.Ex.Legal(a, b) {
+			return
+		}
+		bb.ids = append(bb.ids, b32)
+		bb.d = append(bb.d, float32(inst.Ex.VpinDist(a, b)))
+		k := len(bb.rows)
+		if k+stride <= cap(bb.rows) {
+			bb.rows = bb.rows[:k+stride]
+		} else {
+			bb.rows = append(bb.rows, make([]float64, stride)...)
+		}
+		inst.Ex.Pair(a, b, bb.rows[k:k+stride])
+	})
+}
+
+// score runs the gathered candidates through the engine in one batch per
+// model level. Under two-level pruning, level 1 scores all rows first;
+// surviving rows (p1 >= 0.5, the gate of twoLevelScorer.Prob) are
+// compacted to the front of the matrix in place, level 2 scores only the
+// survivors, and the results scatter back over the gate: rejected
+// candidates score -1, exactly like the scalar composition.
+func (bb *batchBuf) score(eng *batchEngine) {
+	const stride = features.NumFeatures
+	k := len(bb.ids)
+	if cap(bb.p) < k {
+		bb.p = make([]float64, k)
+	}
+	bb.p = bb.p[:k]
+	if k == 0 {
+		return
+	}
+	eng.b1.ProbBatch(bb.rows, stride, bb.p)
+	bb.batches++
+	bb.batchRows += int64(k)
+	if eng.b2 == nil {
+		return
+	}
+	surv := 0
+	for i := 0; i < k; i++ {
+		if bb.p[i] < 0.5 {
+			continue
+		}
+		if surv != i {
+			copy(bb.rows[surv*stride:(surv+1)*stride], bb.rows[i*stride:(i+1)*stride])
+		}
+		surv++
+	}
+	if cap(bb.p2) < surv {
+		bb.p2 = make([]float64, surv)
+	}
+	bb.p2 = bb.p2[:surv]
+	if surv > 0 {
+		eng.b2.ProbBatch(bb.rows[:surv*stride], stride, bb.p2)
+		bb.batches++
+		bb.batchRows += int64(surv)
+	}
+	s := 0
+	for i := 0; i < k; i++ {
+		if bb.p[i] < 0.5 {
+			bb.p[i] = -1
+		} else {
+			bb.p[i] = bb.p2[s]
+			s++
+		}
+	}
+}

@@ -61,6 +61,12 @@ type Config struct {
 	// stream derived from Seed and the unit being trained (see
 	// internal/rng); the Learner owns it exclusively.
 	Learner Learner
+	// ScalarScoring disables the batched scoring fast path: the trained
+	// Bagging is used directly through per-pair Scorer.Prob calls instead
+	// of being compiled into an ml.Ensemble arena. Results are bit-identical
+	// either way; the scalar path exists as the correctness oracle and for
+	// benchmarking the batch path against it.
+	ScalarScoring bool
 	// Seed is the root of all randomness of a run. Every random decision —
 	// training-set sampling, tree induction, level-2 negative draws,
 	// proximity validation splits — draws from an independent stream
@@ -86,6 +92,22 @@ type Config struct {
 type Scorer interface {
 	Prob(x []float64) float64
 }
+
+// BatchScorer is a Scorer that can score a whole row-major feature matrix
+// in one call. ProbBatch(rows, stride, out) must write to out[r] exactly
+// what Prob(rows[r*stride:(r+1)*stride]) returns — bit-identical, so the
+// engine may use either path interchangeably — and must be safe for
+// concurrent use and allocation-free. The engine scores each v-pin's
+// gathered candidates through this fast path; models that only implement
+// Scorer (custom Learners) fall back to per-pair Prob calls.
+// ml.Ensemble, the compiled form of the Bagging, is the canonical
+// implementation.
+type BatchScorer interface {
+	Scorer
+	ProbBatch(rows []float64, stride int, out []float64)
+}
+
+var _ BatchScorer = (*ml.Ensemble)(nil)
 
 // Learner trains a Scorer on a pair-sample dataset. The rng is an
 // independent per-unit stream owned by this call alone; implementations

@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,10 @@ type Evaluation struct {
 	Phases Phases
 	// PairsScored counts the candidate pairs evaluated by the model.
 	PairsScored int64
+	// Batches and BatchRows count the ProbBatch calls of the batched
+	// scoring path and the rows scored through them (level-1 and level-2
+	// batches both counted). Zero on the scalar path.
+	Batches, BatchRows int64
 }
 
 // Phases is the per-stage wall-clock breakdown of one target's attack run.
@@ -180,15 +185,25 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 		return lo, hi
 	}
 
-	var pairsScored int64
+	eng := batchable(model)
+	if cfg.ScalarScoring {
+		eng = nil
+	}
+
+	var pairsScored, batches, batchRows int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			row := make([]float64, features.NumFeatures)
+			var bb batchBuf
 			var pairs int64
-			defer func() { atomic.AddInt64(&pairsScored, pairs) }()
+			defer func() {
+				atomic.AddInt64(&pairsScored, pairs)
+				atomic.AddInt64(&batches, bb.batches)
+				atomic.AddInt64(&batchRows, bb.batchRows)
+			}()
 			for {
 				lo, hi := take(16)
 				if lo == hi {
@@ -197,29 +212,58 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 				for _, a := range targets[lo:hi] {
 					h := candHeap{cap: capPer}
 					m := int(inst.match[a])
-					inst.ix.candidates(a, filter.radius, filter.yLimit, func(b32 int32) {
-						b := int(b32)
-						if !inst.Ex.Legal(a, b) {
-							return
+					if eng != nil {
+						// Batched fast path: gather the v-pin's admitted
+						// candidates into the worker's arena, score them in
+						// one batch per model level, then push in the same
+						// enumeration order the scalar path scores in.
+						bb.gather(inst, filter, a)
+						bb.score(eng)
+						pairs += int64(len(bb.ids))
+						for k, b32 := range bb.ids {
+							p := float32(bb.p[k])
+							if int(b32) == m {
+								ev.TruthP[a] = p
+							}
+							h.push(Candidate{Other: b32, P: p, D: bb.d[k]})
 						}
-						inst.Ex.Pair(a, b, row)
-						p := float32(model.Prob(row))
-						pairs++
-						if b == m {
-							ev.TruthP[a] = p
-						}
-						h.push(Candidate{
-							Other: b32,
-							P:     p,
-							D:     float32(inst.Ex.VpinDist(a, b)),
+						// (P desc, Other asc) is a total order — Other is
+						// unique per list — so this non-reflective sort
+						// yields exactly the scalar branch's ordering.
+						slices.SortFunc(h.c, func(x, y Candidate) int {
+							if x.P != y.P {
+								if x.P > y.P {
+									return -1
+								}
+								return 1
+							}
+							return int(x.Other) - int(y.Other)
 						})
-					})
-					sort.Slice(h.c, func(i, j int) bool {
-						if h.c[i].P != h.c[j].P {
-							return h.c[i].P > h.c[j].P
-						}
-						return h.c[i].Other < h.c[j].Other
-					})
+					} else {
+						inst.ix.candidates(a, filter.radius, filter.yLimit, func(b32 int32) {
+							b := int(b32)
+							if !inst.Ex.Legal(a, b) {
+								return
+							}
+							inst.Ex.Pair(a, b, row)
+							p := float32(model.Prob(row))
+							pairs++
+							if b == m {
+								ev.TruthP[a] = p
+							}
+							h.push(Candidate{
+								Other: b32,
+								P:     p,
+								D:     float32(inst.Ex.VpinDist(a, b)),
+							})
+						})
+						sort.Slice(h.c, func(i, j int) bool {
+							if h.c[i].P != h.c[j].P {
+								return h.c[i].P > h.c[j].P
+							}
+							return h.c[i].Other < h.c[j].Other
+						})
+					}
 					ev.Cands[a] = h.c
 				}
 			}
@@ -227,6 +271,8 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 	}
 	wg.Wait()
 	ev.PairsScored = pairsScored
+	ev.Batches = batches
+	ev.BatchRows = batchRows
 	ev.TestDur = time.Since(start)
 	ev.Phases.Scoring = ev.TestDur
 	return ev

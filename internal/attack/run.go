@@ -211,7 +211,21 @@ func trainModel(cfg Config, ds *ml.Dataset, r *rand.Rand) (Scorer, error) {
 	if cfg.Learner != nil {
 		return cfg.Learner(ds, cfg, r)
 	}
-	return ml.TrainBaggingObs(cfg.Obs, ds, cfg.NumTrees, baseTreeOptions(cfg), r)
+	b, err := ml.TrainBaggingObs(cfg.Obs, ds, cfg.NumTrees, baseTreeOptions(cfg), r)
+	if err != nil {
+		return nil, err
+	}
+	return compiled(cfg, b), nil
+}
+
+// compiled returns the inference form the engine scores with: the packed
+// arena Ensemble for the batched fast path, or the Bagging itself under
+// ScalarScoring (the per-pair oracle path).
+func compiled(cfg Config, b *ml.Bagging) Scorer {
+	if cfg.ScalarScoring {
+		return b
+	}
+	return b.Compile()
 }
 
 // trainModelUnit trains the configuration's classifier from streams derived
@@ -225,8 +239,12 @@ func trainModelUnit(cfg Config, ds *ml.Dataset, unit int64, target int) (Scorer,
 	streams := func(tree int) *rand.Rand {
 		return rng.Derive(cfg.Seed, unit, int64(target), int64(tree))
 	}
-	return ml.TrainBaggingStreams(cfg.Obs, ds, cfg.NumTrees, baseTreeOptions(cfg),
+	b, err := ml.TrainBaggingStreams(cfg.Obs, ds, cfg.NumTrees, baseTreeOptions(cfg),
 		streams, cfg.workerCount(cfg.NumTrees))
+	if err != nil {
+		return nil, err
+	}
+	return compiled(cfg, b), nil
 }
 
 func baseTreeOptions(cfg Config) ml.TreeOptions {
@@ -286,6 +304,10 @@ func runTarget(cfg Config, insts []*Instance, target, worker int, parent *obs.Sp
 	scsp := sp.Begin("scoring")
 	ev := scoreTarget(sc, insts[target], cfg, radiusNorm)
 	scsp.SetAttr("pairs", ev.PairsScored)
+	if ev.Batches > 0 {
+		scsp.SetAttr("batches", ev.Batches)
+		scsp.SetAttr("batch_rows", ev.BatchRows)
+	}
 	scsp.End()
 	ev.TrainDur = trainDur
 	ev.Phases.Sampling = tSample.Sub(t0)
@@ -376,10 +398,23 @@ func level2Samples(cfg Config, inst *Instance, l1 Scorer, radiusNorm float64, ta
 // worker count.
 func trainLevel2(cfg Config, trainInsts []*Instance, l1 Scorer, radiusNorm float64, target int) (Scorer, error) {
 	perInst := make([][]level2Sample, len(trainInsts))
-	workers := cfg.workerCount(len(trainInsts))
+	// Divide the worker budget between the per-design fan-out here and the
+	// candidate-scoring fan-out inside each level2Samples call: the nested
+	// pools would otherwise multiply to up to Workers² goroutines competing
+	// for Workers cores.
+	total := cfg.workerCount(1 << 30)
+	outer := total
+	if outer > len(trainInsts) {
+		outer = len(trainInsts)
+	}
+	innerCfg := cfg
+	innerCfg.Workers = total / outer
+	if innerCfg.Workers < 1 {
+		innerCfg.Workers = 1
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < outer; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -388,7 +423,7 @@ func trainLevel2(cfg Config, trainInsts []*Instance, l1 Scorer, radiusNorm float
 				if i >= len(trainInsts) {
 					return
 				}
-				perInst[i] = level2Samples(cfg, trainInsts[i], l1, radiusNorm, target, i)
+				perInst[i] = level2Samples(innerCfg, trainInsts[i], l1, radiusNorm, target, i)
 			}
 		}()
 	}

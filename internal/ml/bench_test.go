@@ -43,6 +43,103 @@ func BenchmarkBaggingProbRandomForest(b *testing.B) {
 	_ = sink
 }
 
+// BenchmarkEnsembleProbScalar walks the compiled arena one vector at a
+// time — the fallback path when batching is disabled.
+func BenchmarkEnsembleProbScalar(b *testing.B) {
+	m, probes := benchModel(b, REPTree, DefaultBaggingSize)
+	e := m.Compile()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += e.Prob(probes[i%len(probes)])
+	}
+	_ = sink
+}
+
+// BenchmarkEnsembleProbBatch is the attack's hot path: the same vectors
+// scored through one ProbBatch call over a row-major matrix. Compare
+// against BenchmarkBaggingProbREPTree (the pre-arena scalar path) and
+// BenchmarkEnsembleProbScalar for the per-layer speedups.
+func BenchmarkEnsembleProbBatch(b *testing.B) {
+	m, probes := benchModel(b, REPTree, DefaultBaggingSize)
+	e := m.Compile()
+	const stride = 2
+	rows := make([]float64, len(probes)*stride)
+	for i, p := range probes {
+		copy(rows[i*stride:], p)
+	}
+	out := make([]float64, len(probes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(probes) {
+		e.ProbBatch(rows, stride, out)
+	}
+}
+
+// attackishData mimics the attack's pair training sets: 11 features, a few
+// informative dimensions, label noise. REPTrees trained on it come out
+// ~100-150 nodes with depth ~15 — much closer to the scoring hot path than
+// the 2-feature noisyData trees above.
+func attackishData(n int, rng *rand.Rand) *Dataset {
+	ds := &Dataset{}
+	for i := 0; i < n; i++ {
+		x := make([]float64, 11)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		score := x[0] + 0.7*x[3] - 0.5*x[7] + 0.3*x[9]*x[1]
+		y := score > 0
+		if rng.Float64() < 0.12 {
+			y = !y
+		}
+		ds.Add(x, y)
+	}
+	return ds
+}
+
+func benchAttackishModel(b *testing.B) (*Bagging, []float64, int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(3))
+	ds := attackishData(6000, rng)
+	m, err := TrainBagging(ds, DefaultBaggingSize, TreeOptions{Kind: REPTree}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const stride = 11
+	const probes = 1024
+	rows := make([]float64, probes*stride)
+	for i := range rows {
+		rows[i] = rng.NormFloat64()
+	}
+	return m, rows, probes
+}
+
+// BenchmarkBaggingProbAttackShaped is the pre-arena per-pair path on
+// attack-shaped trees; divide ns/op by the probe count for ns/row.
+func BenchmarkBaggingProbAttackShaped(b *testing.B) {
+	m, rows, probes := benchAttackishModel(b)
+	const stride = 11
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		r := (i % probes) * stride
+		sink += m.Prob(rows[r : r+stride])
+	}
+	_ = sink
+}
+
+// BenchmarkEnsembleProbBatchAttackShaped is the arena batch walk over the
+// same rows — the kernel the attack's gather path feeds.
+func BenchmarkEnsembleProbBatchAttackShaped(b *testing.B) {
+	m, rows, probes := benchAttackishModel(b)
+	e := m.Compile()
+	const stride = 11
+	out := make([]float64, probes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += probes {
+		e.ProbBatch(rows, stride, out)
+	}
+}
+
 func BenchmarkTrainBaggingREPTree(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	ds := noisyData(5000, 0.15, rng)

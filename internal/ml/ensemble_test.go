@@ -1,0 +1,142 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// trainEnsemble builds a Bagging and its compiled Ensemble on noisy data.
+func trainEnsemble(t *testing.T, kind TreeKind, trees int) (*Bagging, *Ensemble, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	ds := noisyData(2000, 0.15, rng)
+	b, err := TrainBagging(ds, trees, TreeOptions{Kind: kind}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, b.Compile(), rng
+}
+
+// TestEnsembleProbMatchesBagging pins the compile contract: the arena walk
+// with precomputed leaf probabilities is bit-identical to the per-tree
+// scalar path, which is what lets the attack use either interchangeably.
+func TestEnsembleProbMatchesBagging(t *testing.T) {
+	for _, kind := range []TreeKind{REPTree, RandomTree} {
+		b, e, rng := trainEnsemble(t, kind, DefaultBaggingSize)
+		for i := 0; i < 2000; i++ {
+			x := []float64{rng.NormFloat64(), rng.Float64()}
+			if got, want := e.Prob(x), b.Prob(x); got != want {
+				t.Fatalf("%v: Ensemble.Prob = %v, Bagging.Prob = %v (must be bit-identical)", kind, got, want)
+			}
+		}
+	}
+}
+
+func TestEnsembleProbBatchMatchesScalar(t *testing.T) {
+	_, e, rng := trainEnsemble(t, REPTree, DefaultBaggingSize)
+	const stride = 2
+	for _, n := range []int{0, 1, 7, 256} {
+		rows := make([]float64, n*stride)
+		for i := range rows {
+			rows[i] = rng.NormFloat64()
+		}
+		out := make([]float64, n)
+		e.ProbBatch(rows, stride, out)
+		for r := 0; r < n; r++ {
+			if want := e.Prob(rows[r*stride : (r+1)*stride]); out[r] != want {
+				t.Fatalf("n=%d: ProbBatch row %d = %v, Prob = %v", n, r, out[r], want)
+			}
+		}
+	}
+}
+
+// TestEnsembleProbBatchWideStride checks that rows wider than the feature
+// set the trees split on are handled (the attack always passes full
+// NumFeatures-wide rows even for reduced feature sets).
+func TestEnsembleProbBatchWideStride(t *testing.T) {
+	_, e, rng := trainEnsemble(t, REPTree, DefaultBaggingSize)
+	const stride = 5 // trees trained on 2 features; extra columns are ignored
+	n := 64
+	rows := make([]float64, n*stride)
+	for i := range rows {
+		rows[i] = rng.NormFloat64()
+	}
+	out := make([]float64, n)
+	e.ProbBatch(rows, stride, out)
+	for r := 0; r < n; r++ {
+		if want := e.Prob(rows[r*stride : (r+1)*stride]); out[r] != want {
+			t.Fatalf("row %d = %v, want %v", r, out[r], want)
+		}
+	}
+}
+
+func TestEnsembleProbBatchRejectsShortMatrix(t *testing.T) {
+	_, e, _ := trainEnsemble(t, REPTree, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short matrix did not panic")
+		}
+	}()
+	e.ProbBatch(make([]float64, 3), 2, make([]float64, 2))
+}
+
+func TestEnsembleStats(t *testing.T) {
+	b, e, _ := trainEnsemble(t, REPTree, DefaultBaggingSize)
+	if e.Trees() != len(b.Trees) {
+		t.Errorf("Trees() = %d, want %d", e.Trees(), len(b.Trees))
+	}
+	if e.Nodes() != b.Nodes() {
+		t.Errorf("Nodes() = %d, want %d", e.Nodes(), b.Nodes())
+	}
+}
+
+// TestTreeStatsSurviveFreedPointerTree pins the flatten contract: the
+// pointer tree is released after training, but Nodes/Depth still report
+// the trained tree's stats, and they agree with the flat representation.
+func TestTreeStatsSurviveFreedPointerTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ds := noisyData(1500, 0.1, rng)
+	tree, err := TrainTree(ds, TreeOptions{Kind: REPTree}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.root != nil {
+		t.Error("pointer tree not freed after flatten")
+	}
+	if tree.Nodes() != len(tree.flat) {
+		t.Errorf("Nodes() = %d, flat has %d", tree.Nodes(), len(tree.flat))
+	}
+	// Recompute depth from the flat representation.
+	var depth func(i int32, d int) int
+	depth = func(i int32, d int) int {
+		fn := tree.flat[i]
+		if fn.feature < 0 {
+			return d
+		}
+		l, r := depth(fn.left, d+1), depth(fn.right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	if want := depth(0, 0); tree.Depth() != want {
+		t.Errorf("Depth() = %d, flat walk says %d", tree.Depth(), want)
+	}
+}
+
+// TestEnsembleProbBatchAllocFree guards the scoring inner loop: a batch
+// call must not allocate.
+func TestEnsembleProbBatchAllocFree(t *testing.T) {
+	_, e, rng := trainEnsemble(t, REPTree, DefaultBaggingSize)
+	const stride, n = 2, 512
+	rows := make([]float64, n*stride)
+	for i := range rows {
+		rows[i] = rng.NormFloat64()
+	}
+	out := make([]float64, n)
+	if allocs := testing.AllocsPerRun(20, func() {
+		e.ProbBatch(rows, stride, out)
+	}); allocs != 0 {
+		t.Errorf("ProbBatch allocates %.1f objects per call, want 0", allocs)
+	}
+}

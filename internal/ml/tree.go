@@ -86,13 +86,20 @@ func (n *node) isLeaf() bool { return n.left == nil }
 
 // Tree is a trained decision tree.
 type Tree struct {
+	// root only exists during training; flatten captures the size stats
+	// and releases the pointer nodes, so a trained Tree holds nothing but
+	// the flat slice.
 	root *node
 	opts TreeOptions
 	// flat is the inference-time representation: nodes packed into one
 	// slice in DFS order for cache locality. Pair scoring evaluates
 	// millions of vectors per run, and the flat walk is measurably faster
-	// than chasing node pointers.
+	// than chasing node pointers. Ensemble.Compile packs these per-tree
+	// slices further into one arena for the whole ensemble.
 	flat []flatNode
+	// nodes and depth are captured at flatten time, when the pointer tree
+	// is freed.
+	nodes, depth int
 }
 
 // flatNode is one packed tree node; feature < 0 marks a leaf.
@@ -103,16 +110,22 @@ type flatNode struct {
 	pos, neg    int32
 }
 
-// flatten packs the pointer tree into the flat slice.
+// flatten packs the pointer tree into the flat slice, captures the
+// node-count and depth stats, and frees the pointer nodes — after training
+// the flat representation is the tree.
 func (t *Tree) flatten() {
 	t.flat = t.flat[:0]
-	var walk func(n *node) int32
-	walk = func(n *node) int32 {
+	t.depth = 0
+	var walk func(n *node, depth int) int32
+	walk = func(n *node, depth int) int32 {
+		if depth > t.depth {
+			t.depth = depth
+		}
 		idx := int32(len(t.flat))
 		t.flat = append(t.flat, flatNode{feature: -1, pos: int32(n.pos), neg: int32(n.neg)})
 		if !n.isLeaf() {
-			l := walk(n.left)
-			r := walk(n.right)
+			l := walk(n.left, depth+1)
+			r := walk(n.right, depth+1)
 			t.flat[idx].feature = int32(n.feature)
 			t.flat[idx].threshold = n.threshold
 			t.flat[idx].left = l
@@ -120,7 +133,9 @@ func (t *Tree) flatten() {
 		}
 		return idx
 	}
-	walk(t.root)
+	walk(t.root, 0)
+	t.nodes = len(t.flat)
+	t.root = nil
 }
 
 // TrainTree induces a tree from ds according to opts. The rng drives the
@@ -144,7 +159,7 @@ func TrainTree(ds *Dataset, opts TreeOptions, rng *rand.Rand) (*Tree, error) {
 			growSet, pruneSet = ds, ds
 		}
 		t.root = newGrower(growSet, opts).grow(rng)
-		t.prune(t.root, pruneSet, allIdx(pruneSet.Len()))
+		t.prune(t.root, pruneSet, allIdx(pruneSet.Len()), make([]int, pruneSet.Len()))
 		t.backfit(ds)
 	case RandomTree:
 		t.root = newGrower(ds, opts).grow(rng)
@@ -305,7 +320,14 @@ func (g *grower) growSeg(lo, hi, depth int, rng *rand.Rand) *node {
 // splits on noise cannot clear the margin, while genuinely informative
 // splits exceed it easily. It returns the subtree's error count on the
 // fold.
-func (t *Tree) prune(n *node, prune *Dataset, idx []int) int {
+//
+// Each node stably partitions its idx segment in place — left rows
+// compact to the front, right rows stage through scratch — mirroring the
+// grower's presort scheme, so the whole pruning pass reuses the two
+// buffers the caller allocated instead of two fresh slices per node.
+// scratch must be at least len(idx) long and is only used between the
+// partition and the recursive calls, so one buffer serves every level.
+func (t *Tree) prune(n *node, prune *Dataset, idx, scratch []int) int {
 	pos := 0
 	for _, i := range idx {
 		if prune.Y[i] {
@@ -321,15 +343,19 @@ func (t *Tree) prune(n *node, prune *Dataset, idx []int) int {
 		return leafErr
 	}
 
-	var leftIdx, rightIdx []int
+	nLeft, nRight := 0, 0
 	for _, i := range idx {
 		if prune.X[i][n.feature] < n.threshold {
-			leftIdx = append(leftIdx, i)
+			idx[nLeft] = i
+			nLeft++
 		} else {
-			rightIdx = append(rightIdx, i)
+			scratch[nRight] = i
+			nRight++
 		}
 	}
-	subErr := t.prune(n.left, prune, leftIdx) + t.prune(n.right, prune, rightIdx)
+	copy(idx[nLeft:], scratch[:nRight])
+	subErr := t.prune(n.left, prune, idx[:nLeft], scratch) +
+		t.prune(n.right, prune, idx[nLeft:], scratch)
 	margin := 0.5 * math.Sqrt(float64(len(idx))+1)
 	if float64(leafErr) <= float64(subErr)+margin {
 		n.left, n.right = nil, nil
@@ -400,32 +426,13 @@ func (t *Tree) Prob(x []float64) float64 {
 func (t *Tree) Predict(x []float64) bool { return t.Prob(x) >= 0.5 }
 
 // Nodes returns the total number of nodes in the tree, a size measure used
-// to verify that pruning shrinks trees.
-func (t *Tree) Nodes() int { return countNodes(t.root) }
+// to verify that pruning shrinks trees. The count is captured when the
+// pointer tree is flattened and freed.
+func (t *Tree) Nodes() int { return t.nodes }
 
-func countNodes(n *node) int {
-	if n == nil {
-		return 0
-	}
-	if n.isLeaf() {
-		return 1
-	}
-	return 1 + countNodes(n.left) + countNodes(n.right)
-}
-
-// Depth returns the maximum depth of the tree (a single leaf has depth 0).
-func (t *Tree) Depth() int { return depthOf(t.root) }
-
-func depthOf(n *node) int {
-	if n == nil || n.isLeaf() {
-		return 0
-	}
-	l, r := depthOf(n.left), depthOf(n.right)
-	if l > r {
-		return 1 + l
-	}
-	return 1 + r
-}
+// Depth returns the maximum depth of the tree (a single leaf has depth 0),
+// captured at flatten time like Nodes.
+func (t *Tree) Depth() int { return t.depth }
 
 // entropy2 is the binary entropy of a (pos, neg) split in nats.
 func entropy2(pos, neg int) float64 {

@@ -193,22 +193,14 @@ func TestBackfitCountsCoverFullTrainingSet(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Summing leaf counts by routing every training row must equal the
-	// training set size exactly once per row.
+	// training set size exactly once per row. The pointer tree is freed at
+	// flatten time, so walk the flat representation.
 	total := 0
-	seen := map[*node]bool{}
-	var walk func(n *node)
-	walk = func(n *node) {
-		if n.isLeaf() {
-			if !seen[n] {
-				seen[n] = true
-				total += n.pos + n.neg
-			}
-			return
+	for _, fn := range tree.flat {
+		if fn.feature < 0 {
+			total += int(fn.pos + fn.neg)
 		}
-		walk(n.left)
-		walk(n.right)
 	}
-	walk(tree.root)
 	if total != ds.Len() {
 		t.Errorf("leaf counts sum to %d, want %d", total, ds.Len())
 	}
