@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/layout"
@@ -181,6 +182,17 @@ func writeScoringBench(path string, designs []*layout.Design, scale float64, see
 		}
 		chs = append(chs, c)
 	}
+	// Instance preparation (feature extractors + spatial pair indexes) is
+	// the fixed cost every attack run pays before scoring; measure the
+	// serial build against the parallel one so cache and fan-out wins show
+	// up in the perf trajectory.
+	t0 := time.Now()
+	attack.NewInstancesWorkers(chs, 1)
+	serialNs := time.Since(t0).Nanoseconds()
+	t0 = time.Now()
+	attack.NewInstancesWorkers(chs, 0)
+	parallelNs := time.Since(t0).Nanoseconds()
+
 	twoLevel := attack.WithTwoLevel(attack.Imp11())
 	twoLevel.Name += "-2L"
 	configs := []attack.Config{attack.ML9(), attack.Imp11(), twoLevel}
@@ -218,7 +230,13 @@ func writeScoringBench(path string, designs []*layout.Design, scale float64, see
 		"scale":       scale,
 		"seed":        seed,
 		"split_layer": 6,
-		"configs":     entries,
+		"instance_prep": map[string]any{
+			"designs":     len(chs),
+			"serial_ns":   serialNs,
+			"parallel_ns": parallelNs,
+			"speedup":     float64(serialNs) / float64(parallelNs),
+		},
+		"configs": entries,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -95,7 +95,14 @@ func main() {
 	}
 
 	configMap := map[string]any{"scale": *scale, "seed": *seed, "run": *run, "workers": cli.Workers}
-	summary := map[string]any{"experiments": ran, "experiment_durations": durations}
+	// Instance-cache effectiveness: how often a (layer, noise) sweep reused
+	// prepared extractors/indexes instead of re-deriving them.
+	ic := o.Metrics().Cache("suite.instances")
+	summary := map[string]any{
+		"experiments":          ran,
+		"experiment_durations": durations,
+		"instance_cache":       map[string]any{"hits": ic.Hits(), "misses": ic.Misses()},
+	}
 	if err := cli.Finish(o, configMap, summary); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

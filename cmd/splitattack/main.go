@@ -78,7 +78,10 @@ func main() {
 
 	// Single-target entry point: only the held-out design's model is
 	// trained, instead of the full leave-one-out sweep over all designs.
-	ev, radiusNorm, err := attack.RunTarget(cfg, chs, target)
+	// Instances (extractors + spatial indexes) are prepared once and shared
+	// with the proximity attack below.
+	insts := attack.NewInstancesWorkers(chs, cli.Workers)
+	ev, radiusNorm, err := attack.RunTargetInstances(cfg, insts, target)
 	if err != nil {
 		fatal(err)
 	}
@@ -129,7 +132,7 @@ func main() {
 
 	if *pa {
 		fmt.Println("\nProximity attack (validation-based PA-LoC fraction):")
-		out, err := attack.ProximityTarget(cfg, chs, target, ev, radiusNorm)
+		out, err := attack.ProximityTargetInstances(cfg, insts, target, ev, radiusNorm)
 		if err != nil {
 			fatal(err)
 		}

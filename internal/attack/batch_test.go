@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/ml"
+	"repro/internal/pairs"
 	"repro/internal/rng"
 )
 
@@ -168,27 +169,27 @@ func TestBatchGatherScoreAllocFree(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			model = &twoLevelScorer{l1: model, l2: l2}
+			model = &pairs.TwoLevel{L1: model, L2: l2}
 		}
-		eng := batchable(model)
-		if eng == nil {
+		backend := pairs.ResolveBackend(model, false)
+		if !pairs.Batched(backend) {
 			t.Fatalf("%s: trained model is not batchable", cfg.Name)
 		}
 		inst := insts[0]
 		filter := newPairFilter(inst, cfg, radius)
-		var bb batchBuf
+		var g pairs.Gatherer
 		warm := inst.N()
 		if warm > 64 {
 			warm = 64
 		}
 		for a := 0; a < warm; a++ {
-			bb.gather(inst, filter, a)
-			bb.score(eng)
+			g.Gather(filter, a)
+			g.Score(backend)
 		}
 		allocs := testing.AllocsPerRun(50, func() {
 			for a := 0; a < warm; a++ {
-				bb.gather(inst, filter, a)
-				bb.score(eng)
+				g.Gather(filter, a)
+				g.Score(backend)
 			}
 		})
 		if allocs != 0 {

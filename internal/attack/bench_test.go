@@ -13,6 +13,7 @@ package attack
 import (
 	"testing"
 
+	"repro/internal/pairs"
 	"repro/internal/rng"
 )
 
@@ -37,7 +38,7 @@ func benchAttackModel(b *testing.B, cfg Config, layer int) (Scorer, *Instance, f
 		if err != nil {
 			b.Fatal(err)
 		}
-		model = &twoLevelScorer{l1: model, l2: l2}
+		model = &pairs.TwoLevel{L1: model, L2: l2}
 	}
 	return model, insts[0], radius
 }
@@ -49,12 +50,12 @@ func benchScoreTarget(b *testing.B, cfg Config, scalar bool) {
 	cfg.ScalarScoring = scalar
 	model, inst, radius := benchAttackModel(b, cfg, 6)
 	b.ResetTimer()
-	var pairs int64
+	var scored int64
 	for i := 0; i < b.N; i++ {
 		ev := scoreTarget(model, inst, cfg, radius)
-		pairs = ev.PairsScored
+		scored = ev.PairsScored
 	}
-	b.ReportMetric(float64(pairs)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+	b.ReportMetric(float64(scored)*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
 }
 
 func BenchmarkScoreTargetML9Scalar(b *testing.B)   { benchScoreTarget(b, ML9(), true) }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/ml"
 	"repro/internal/obs"
+	"repro/internal/pairs"
 )
 
 // Config selects one of the paper's model configurations.
@@ -86,26 +87,16 @@ type Config struct {
 
 // Scorer is the classifier interface the attack engine consumes: a
 // probability that a feature vector describes a truly matching v-pin pair.
-// Prob must be safe for concurrent use — the engine scores candidate pairs
-// from multiple goroutines against one Scorer. Trained models are expected
-// to be immutable, which makes this free (ml.Bagging qualifies).
-type Scorer interface {
-	Prob(x []float64) float64
-}
+// It is the pairs package's Scorer — the attack engine scores candidates
+// exclusively through the shared pair pipeline (see internal/pairs).
+type Scorer = pairs.Scorer
 
 // BatchScorer is a Scorer that can score a whole row-major feature matrix
-// in one call. ProbBatch(rows, stride, out) must write to out[r] exactly
-// what Prob(rows[r*stride:(r+1)*stride]) returns — bit-identical, so the
-// engine may use either path interchangeably — and must be safe for
-// concurrent use and allocation-free. The engine scores each v-pin's
-// gathered candidates through this fast path; models that only implement
-// Scorer (custom Learners) fall back to per-pair Prob calls.
-// ml.Ensemble, the compiled form of the Bagging, is the canonical
-// implementation.
-type BatchScorer interface {
-	Scorer
-	ProbBatch(rows []float64, stride int, out []float64)
-}
+// in one call; see pairs.BatchScorer for the contract. The engine scores
+// each v-pin's gathered candidates through this fast path; models that
+// only implement Scorer (custom Learners) fall back to per-pair Prob calls
+// over the same gathered arena.
+type BatchScorer = pairs.BatchScorer
 
 var _ BatchScorer = (*ml.Ensemble)(nil)
 

@@ -2,12 +2,11 @@ package attack
 
 import (
 	"slices"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
-	"repro/internal/features"
+	"repro/internal/pairs"
 )
 
 // Candidate is one scored entry of a v-pin's candidate list.
@@ -18,6 +17,20 @@ type Candidate struct {
 	P float32
 	// D is the ManhattanVpin distance, used by the proximity attack.
 	D float32
+}
+
+// compareCandidates is the candidate-list order: descending probability,
+// ties broken by ascending partner index. Other is unique within a list,
+// so this is a total order and every sorting algorithm — and both scoring
+// backends — produce exactly the same list.
+func compareCandidates(x, y Candidate) int {
+	if x.P != y.P {
+		if x.P > y.P {
+			return -1
+		}
+		return 1
+	}
+	return int(x.Other) - int(y.Other)
 }
 
 // Evaluation holds the scored candidate lists of one (config, design,
@@ -132,6 +145,13 @@ func scoreTarget(model Scorer, inst *Instance, cfg Config, radiusNorm float64) *
 // (candidates are still drawn from the whole design). A nil subset scores
 // every v-pin. The proximity attack's validation stage uses this to score
 // only held-out v-pins.
+//
+// There is one scoring path: each worker gathers a v-pin's admitted
+// candidates into its reusable pairs.Gatherer arena and scores the arena
+// through the backend pairs.ResolveBackend picked — the batched flat-arena
+// engine when the model supports it, the per-row scalar oracle otherwise
+// (or under cfg.ScalarScoring). Candidates enter the heap in enumeration
+// order under both backends, so the retained lists are bit-identical.
 func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, subset []int) *Evaluation {
 	start := time.Now()
 	n := inst.N()
@@ -164,7 +184,7 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 	}
 	for a := 0; a < n; a++ {
 		ev.TruthP[a] = -1
-		ev.Truth[a] = inst.match[a]
+		ev.Truth[a] = int32(inst.Match(a))
 	}
 
 	workers := cfg.workerCount(len(targets))
@@ -185,10 +205,7 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 		return lo, hi
 	}
 
-	eng := batchable(model)
-	if cfg.ScalarScoring {
-		eng = nil
-	}
+	backend := pairs.ResolveBackend(model, cfg.ScalarScoring)
 
 	var pairsScored, batches, batchRows int64
 	var wg sync.WaitGroup
@@ -196,13 +213,12 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			row := make([]float64, features.NumFeatures)
-			var bb batchBuf
-			var pairs int64
+			var g pairs.Gatherer
+			var scored int64
 			defer func() {
-				atomic.AddInt64(&pairsScored, pairs)
-				atomic.AddInt64(&batches, bb.batches)
-				atomic.AddInt64(&batchRows, bb.batchRows)
+				atomic.AddInt64(&pairsScored, scored)
+				atomic.AddInt64(&batches, g.Batches)
+				atomic.AddInt64(&batchRows, g.BatchRows)
 			}()
 			for {
 				lo, hi := take(16)
@@ -211,59 +227,18 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 				}
 				for _, a := range targets[lo:hi] {
 					h := candHeap{cap: capPer}
-					m := int(inst.match[a])
-					if eng != nil {
-						// Batched fast path: gather the v-pin's admitted
-						// candidates into the worker's arena, score them in
-						// one batch per model level, then push in the same
-						// enumeration order the scalar path scores in.
-						bb.gather(inst, filter, a)
-						bb.score(eng)
-						pairs += int64(len(bb.ids))
-						for k, b32 := range bb.ids {
-							p := float32(bb.p[k])
-							if int(b32) == m {
-								ev.TruthP[a] = p
-							}
-							h.push(Candidate{Other: b32, P: p, D: bb.d[k]})
+					m := inst.Match(a)
+					g.Gather(filter, a)
+					g.Score(backend)
+					scored += int64(len(g.Ids))
+					for k, b32 := range g.Ids {
+						p := float32(g.P[k])
+						if int(b32) == m {
+							ev.TruthP[a] = p
 						}
-						// (P desc, Other asc) is a total order — Other is
-						// unique per list — so this non-reflective sort
-						// yields exactly the scalar branch's ordering.
-						slices.SortFunc(h.c, func(x, y Candidate) int {
-							if x.P != y.P {
-								if x.P > y.P {
-									return -1
-								}
-								return 1
-							}
-							return int(x.Other) - int(y.Other)
-						})
-					} else {
-						inst.ix.candidates(a, filter.radius, filter.yLimit, func(b32 int32) {
-							b := int(b32)
-							if !inst.Ex.Legal(a, b) {
-								return
-							}
-							inst.Ex.Pair(a, b, row)
-							p := float32(model.Prob(row))
-							pairs++
-							if b == m {
-								ev.TruthP[a] = p
-							}
-							h.push(Candidate{
-								Other: b32,
-								P:     p,
-								D:     float32(inst.Ex.VpinDist(a, b)),
-							})
-						})
-						sort.Slice(h.c, func(i, j int) bool {
-							if h.c[i].P != h.c[j].P {
-								return h.c[i].P > h.c[j].P
-							}
-							return h.c[i].Other < h.c[j].Other
-						})
+						h.push(Candidate{Other: b32, P: p, D: g.D[k]})
 					}
+					slices.SortFunc(h.c, compareCandidates)
 					ev.Cands[a] = h.c
 				}
 			}

@@ -2,7 +2,7 @@ package attack
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 	"testing"
 )
 
@@ -34,12 +34,7 @@ func randomEval(rng *rand.Rand, n int) *Evaluation {
 				ev.TruthP[a] = p
 			}
 		}
-		sort.Slice(cands, func(i, j int) bool {
-			if cands[i].P != cands[j].P {
-				return cands[i].P > cands[j].P
-			}
-			return cands[i].Other < cands[j].Other
-		})
+		slices.SortFunc(cands, compareCandidates)
 		ev.Cands[a] = cands
 	}
 	return ev

@@ -141,22 +141,27 @@ func RunProximity(cfg Config, chs []*split.Challenge) ([]PAOutcome, error) {
 // abort its siblings; failed entries are zero-valued in the returned slice
 // and their errors are joined.
 func RunProximityOn(cfg Config, chs []*split.Challenge, prior *Result) ([]PAOutcome, error) {
+	return RunProximityOnInstances(cfg, NewInstancesWorkers(chs, cfg.Workers), prior)
+}
+
+// RunProximityOnInstances is RunProximityOn on already-prepared instances,
+// sharing the extractor/index construction cost with a prior attack run.
+func RunProximityOnInstances(cfg Config, insts []*Instance, prior *Result) ([]PAOutcome, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if len(chs) < 2 {
+	if len(insts) < 2 {
 		return nil, fmt.Errorf("attack: proximity attack needs at least 2 designs")
 	}
-	if prior != nil && len(prior.Evals) != len(chs) {
-		return nil, fmt.Errorf("attack: prior result covers %d designs, want %d", len(prior.Evals), len(chs))
+	if prior != nil && len(prior.Evals) != len(insts) {
+		return nil, fmt.Errorf("attack: prior result covers %d designs, want %d", len(prior.Evals), len(insts))
 	}
 	o := cfg.Obs
-	workers := cfg.workerCount(len(chs))
+	workers := cfg.workerCount(len(insts))
 	root := o.Begin("attack.pa", obs.F("config", cfg.Name),
-		obs.F("designs", len(chs)), obs.F("workers", workers))
+		obs.F("designs", len(insts)), obs.F("workers", workers))
 	defer root.End()
-	insts := NewInstances(chs)
 	outcomes := make([]PAOutcome, len(insts))
 	errs := make([]error, len(insts))
 	var next atomic.Int64
@@ -240,23 +245,28 @@ func paTarget(cfg Config, insts []*Instance, target int, ev *Evaluation,
 // trained — and the outcome equals RunProximity's entry for the target:
 // PA randomness is derived from cfg.Seed and the target index alone.
 func ProximityTarget(cfg Config, chs []*split.Challenge, target int, ev *Evaluation, radiusNorm float64) (PAOutcome, error) {
+	return ProximityTargetInstances(cfg, NewInstancesWorkers(chs, cfg.Workers), target, ev, radiusNorm)
+}
+
+// ProximityTargetInstances is ProximityTarget on already-prepared
+// instances, typically the ones the evaluation was scored on.
+func ProximityTargetInstances(cfg Config, insts []*Instance, target int, ev *Evaluation, radiusNorm float64) (PAOutcome, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return PAOutcome{}, err
 	}
-	if len(chs) < 2 {
+	if len(insts) < 2 {
 		return PAOutcome{}, fmt.Errorf("attack: proximity attack needs at least 2 designs")
 	}
-	if target < 0 || target >= len(chs) {
-		return PAOutcome{}, fmt.Errorf("attack: target %d out of range 0..%d", target, len(chs)-1)
+	if target < 0 || target >= len(insts) {
+		return PAOutcome{}, fmt.Errorf("attack: target %d out of range 0..%d", target, len(insts)-1)
 	}
 	if ev == nil {
 		return PAOutcome{}, fmt.Errorf("attack: proximity target needs a scored evaluation")
 	}
 	o := cfg.Obs
-	sp := o.Begin("attack.pa-target", obs.F("design", chs[target].Design.Name))
+	sp := o.Begin("attack.pa-target", obs.F("design", insts[target].Ch.Design.Name))
 	defer sp.End()
-	insts := NewInstances(chs)
 	return paTarget(cfg, insts, target, ev, radiusNorm, sp), nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/ml"
 	"repro/internal/obs"
+	"repro/internal/pairs"
 	"repro/internal/rng"
 	"repro/internal/split"
 )
@@ -70,27 +71,33 @@ func (r *Result) meanDur(f func(*Evaluation) time.Duration) time.Duration {
 	return sum / time.Duration(n)
 }
 
-// NewInstances prepares challenges for attack runs.
+// NewInstances prepares challenges for attack runs, building the feature
+// extractors and spatial indexes of all designs in parallel (GOMAXPROCS
+// workers). Use NewInstancesWorkers to bound the fan-out explicitly.
 func NewInstances(chs []*split.Challenge) []*Instance {
-	insts := make([]*Instance, len(chs))
-	for i, ch := range chs {
-		insts[i] = NewInstance(ch)
-	}
-	return insts
+	return pairs.NewAll(chs, 0)
+}
+
+// NewInstancesWorkers is NewInstances bounded to the given worker count
+// (<= 0 selects GOMAXPROCS). Instance construction is per-design
+// deterministic, so the result is identical at any worker count.
+func NewInstancesWorkers(chs []*split.Challenge, workers int) []*Instance {
+	return pairs.NewAll(chs, workers)
 }
 
 // prepareRun applies defaults and validates a leave-one-out run request.
-func prepareRun(cfg Config, chs []*split.Challenge) (Config, error) {
+func prepareRun(cfg Config, insts []*Instance) (Config, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return cfg, err
 	}
-	if len(chs) < 2 {
-		return cfg, fmt.Errorf("attack: leave-one-out needs at least 2 designs, got %d", len(chs))
+	if len(insts) < 2 {
+		return cfg, fmt.Errorf("attack: leave-one-out needs at least 2 designs, got %d", len(insts))
 	}
-	for _, ch := range chs[1:] {
-		if ch.SplitLayer != chs[0].SplitLayer {
-			return cfg, fmt.Errorf("attack: mixed split layers %d and %d", chs[0].SplitLayer, ch.SplitLayer)
+	for _, inst := range insts[1:] {
+		if inst.Ch.SplitLayer != insts[0].Ch.SplitLayer {
+			return cfg, fmt.Errorf("attack: mixed split layers %d and %d",
+				insts[0].Ch.SplitLayer, inst.Ch.SplitLayer)
 		}
 	}
 	return cfg, nil
@@ -111,18 +118,25 @@ func prepareRun(cfg Config, chs []*split.Challenge) (Config, error) {
 // and RadiusNorm -1 for the failures — together with the joined per-target
 // errors.
 func Run(cfg Config, chs []*split.Challenge) (*Result, error) {
-	cfg, err := prepareRun(cfg, chs)
+	return RunInstances(cfg, NewInstancesWorkers(chs, cfg.Workers))
+}
+
+// RunInstances is Run on already-prepared instances, letting callers that
+// run several configurations over the same challenges (experiment sweeps)
+// pay the extractor/index construction cost once. Instances are read-only
+// during the run and may be shared between concurrent runs.
+func RunInstances(cfg Config, insts []*Instance) (*Result, error) {
+	cfg, err := prepareRun(cfg, insts)
 	if err != nil {
 		return nil, err
 	}
 	o := cfg.Obs
-	workers := cfg.workerCount(len(chs))
+	workers := cfg.workerCount(len(insts))
 	sp := o.Begin("attack.run", obs.F("config", cfg.Name),
-		obs.F("layer", chs[0].SplitLayer), obs.F("designs", len(chs)),
+		obs.F("layer", insts[0].Ch.SplitLayer), obs.F("designs", len(insts)),
 		obs.F("workers", workers))
 	defer sp.End()
 	start := time.Now()
-	insts := NewInstances(chs)
 	res := &Result{
 		Config:     cfg,
 		Evals:      make([]*Evaluation, len(insts)),
@@ -177,17 +191,21 @@ func Run(cfg Config, chs []*split.Challenge) (*Result, error) {
 // random stream the target consumes is derived from cfg.Seed, a stream
 // unit, and the target index alone (see internal/rng).
 func RunTarget(cfg Config, chs []*split.Challenge, target int) (*Evaluation, float64, error) {
-	cfg, err := prepareRun(cfg, chs)
+	return RunTargetInstances(cfg, NewInstancesWorkers(chs, cfg.Workers), target)
+}
+
+// RunTargetInstances is RunTarget on already-prepared instances.
+func RunTargetInstances(cfg Config, insts []*Instance, target int) (*Evaluation, float64, error) {
+	cfg, err := prepareRun(cfg, insts)
 	if err != nil {
 		return nil, 0, err
 	}
-	if target < 0 || target >= len(chs) {
-		return nil, 0, fmt.Errorf("attack: target %d out of range 0..%d", target, len(chs)-1)
+	if target < 0 || target >= len(insts) {
+		return nil, 0, fmt.Errorf("attack: target %d out of range 0..%d", target, len(insts)-1)
 	}
 	o := cfg.Obs
 	o.Log().Info("single-target attack: skipping sibling leave-one-out runs",
-		"config", cfg.Name, "target", chs[target].Design.Name, "targets_skipped", len(chs)-1)
-	insts := NewInstances(chs)
+		"config", cfg.Name, "target", insts[target].Ch.Design.Name, "targets_skipped", len(insts)-1)
 	return runTarget(cfg, insts, target, 0, nil)
 }
 
@@ -297,7 +315,7 @@ func runTarget(cfg Config, insts []*Instance, target, worker int, parent *obs.Sp
 			sp.End()
 			return nil, 0, fmt.Errorf("attack: %s: target %s: %w", cfg.Name, insts[target].Ch.Design.Name, err)
 		}
-		sc = &twoLevelScorer{l1: model, l2: level2}
+		sc = &pairs.TwoLevel{L1: model, L2: level2}
 	}
 	trainDur := time.Since(t0)
 
@@ -360,7 +378,7 @@ func level2Samples(cfg Config, inst *Instance, l1 Scorer, radiusNorm float64, ta
 	var out []level2Sample
 	for a := 0; a < inst.N(); a++ {
 		m := inst.Match(a)
-		if filter.admits(a, m) {
+		if m >= 0 && filter.Admits(a, m) {
 			row := make([]float64, features.NumFeatures)
 			inst.Ex.Pair(a, m, row)
 			out = append(out, level2Sample{row: row, pos: true})
@@ -438,19 +456,4 @@ func trainLevel2(cfg Config, trainInsts []*Instance, l1 Scorer, radiusNorm float
 		return nil, fmt.Errorf("attack: two-level pruning produced no training samples")
 	}
 	return trainModelUnit(cfg, ds, unitLevel2Model, target)
-}
-
-// twoLevelScorer composes the two pruning levels: pairs the level-1 model
-// rejects (p1 < 0.5) are excluded outright (scored -1, below every
-// threshold); surviving pairs are scored by the level-2 model.
-type twoLevelScorer struct {
-	l1, l2 Scorer
-}
-
-// Prob implements Scorer with the two-level composition.
-func (s *twoLevelScorer) Prob(x []float64) float64 {
-	if s.l1.Prob(x) < 0.5 {
-		return -1
-	}
-	return s.l2.Prob(x)
 }

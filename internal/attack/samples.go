@@ -5,95 +5,34 @@ import (
 
 	"repro/internal/features"
 	"repro/internal/ml"
+	"repro/internal/pairs"
 	"repro/internal/split"
 )
 
-// Instance bundles a challenge with its feature extractor; one Instance per
-// (design, split layer).
-type Instance struct {
-	Ch *split.Challenge
-	Ex *features.Extractor
-	// match[i] is the ground-truth partner of v-pin i.
-	match []int32
-	// dieW normalises distances across designs of different sizes.
-	dieW float64
-	ix   *vpinIndex
-}
+// Instance is the per-(design, split layer) state of the pair pipeline;
+// see the pairs package, which owns it. The alias keeps the attack API
+// stable while every consumer shares one pipeline.
+type Instance = pairs.Instance
 
 // NewInstance prepares a challenge for training or testing.
-func NewInstance(ch *split.Challenge) *Instance {
-	inst := &Instance{
-		Ch:    ch,
-		Ex:    features.NewExtractor(ch),
-		match: make([]int32, len(ch.VPins)),
-		dieW:  float64(ch.Design.Die().Width()),
-	}
-	for i := range ch.VPins {
-		inst.match[i] = int32(ch.VPins[i].Match)
-	}
-	inst.ix = newVpinIndex(ch)
-	return inst
-}
-
-// N returns the v-pin count.
-func (inst *Instance) N() int { return len(inst.Ch.VPins) }
-
-// Match returns the ground-truth partner of v-pin a.
-func (inst *Instance) Match(a int) int { return int(inst.match[a]) }
-
-// matchDistsNorm returns the ManhattanVpin distance of every true match,
-// normalised by die width (one entry per cut net).
-func (inst *Instance) matchDistsNorm() []float64 {
-	out := make([]float64, 0, inst.N()/2)
-	for a := 0; a < inst.N(); a++ {
-		m := inst.Match(a)
-		if a < m {
-			out = append(out, inst.Ex.VpinDist(a, m)/inst.dieW)
-		}
-	}
-	return out
-}
+func NewInstance(ch *split.Challenge) *Instance { return pairs.New(ch) }
 
 // NeighborRadiusNorm pools the normalised matched-pair distances of the
 // given (training) instances and returns their q-quantile — the
 // neighborhood radius of the Imp configurations, as a fraction of die
 // width (paper §III-D, Fig. 4).
 func NeighborRadiusNorm(insts []*Instance, q float64) float64 {
-	var all []float64
-	for _, inst := range insts {
-		all = append(all, inst.matchDistsNorm()...)
-	}
-	return ml.Quantile(all, q)
+	return pairs.NeighborRadiusNorm(insts, q)
 }
 
-// pairFilter bundles the candidate-pair admission rules of a configuration
-// for one instance.
-type pairFilter struct {
-	inst   *Instance
-	radius float64 // absolute DBU; <0 disables the neighborhood test
-	yLimit bool
-}
-
-func newPairFilter(inst *Instance, cfg Config, radiusNorm float64) pairFilter {
-	f := pairFilter{inst: inst, radius: -1, yLimit: cfg.LimitDiffVpinY}
-	if cfg.Neighborhood {
-		f.radius = radiusNorm * inst.dieW
+// newPairFilter builds the pair-admission filter of a configuration for
+// one instance: the neighborhood radius applies only under the Imp
+// improvement, the DiffVpinY limit only under the "Y" refinement.
+func newPairFilter(inst *Instance, cfg Config, radiusNorm float64) pairs.Filter {
+	if !cfg.Neighborhood {
+		radiusNorm = -1
 	}
-	return f
-}
-
-// admits reports whether the pair (a, b) may be trained on or tested.
-func (f pairFilter) admits(a, b int) bool {
-	if a == b || !f.inst.Ex.Legal(a, b) {
-		return false
-	}
-	if f.yLimit && f.inst.Ex.DiffVpinYOf(a, b) != 0 {
-		return false
-	}
-	if f.radius >= 0 && f.inst.Ex.VpinDist(a, b) > f.radius {
-		return false
-	}
-	return true
+	return inst.Filter(radiusNorm, cfg.LimitDiffVpinY)
 }
 
 // TrainingSet generates the balanced sample set of §III-B from the given
@@ -115,7 +54,7 @@ func TrainingSet(cfg Config, insts []*Instance, radiusNorm float64,
 		}
 		for _, a := range vpins {
 			m := inst.Match(a)
-			if !selected[m] || !filter.admits(a, m) {
+			if m < 0 || !selected[m] || !filter.Admits(a, m) {
 				continue
 			}
 			row := make([]float64, features.NumFeatures)
@@ -123,7 +62,7 @@ func TrainingSet(cfg Config, insts []*Instance, radiusNorm float64,
 			ds.Add(row, true)
 
 			// Matched negative: a random admitted non-matching partner.
-			if b, ok := sampleNegative(inst, filter, vpins, selected, a, m, rng); ok {
+			if b, ok := sampleNegative(filter, vpins, selected, a, m, rng); ok {
 				neg := make([]float64, features.NumFeatures)
 				inst.Ex.Pair(a, b, neg)
 				ds.Add(neg, false)
@@ -143,22 +82,22 @@ func TrainingSet(cfg Config, insts []*Instance, radiusNorm float64,
 // sampleNegative draws a uniform random admitted non-matching partner for
 // a. It first tries cheap rejection sampling; under tight filters (small
 // neighborhoods, Y-limits) where rejection rarely lands, it falls back to
-// reservoir sampling over the index's pre-filtered candidate stream.
-func sampleNegative(inst *Instance, filter pairFilter, vpins []int,
+// reservoir sampling over the filter's admitted candidate stream.
+func sampleNegative(filter pairs.Filter, vpins []int,
 	selected []bool, a, m int, rng *rand.Rand) (int, bool) {
 
 	const tries = 40
 	for t := 0; t < tries; t++ {
 		b := vpins[rng.Intn(len(vpins))]
-		if b != m && filter.admits(a, b) {
+		if b != m && filter.Admits(a, b) {
 			return b, true
 		}
 	}
 	// Reservoir over all admitted candidates of a.
 	chosen, count := -1, 0
-	inst.ix.candidates(a, filter.radius, filter.yLimit, func(b32 int32) {
+	filter.Enumerate(a, func(b32 int32) {
 		b := int(b32)
-		if b == m || !selected[b] || !inst.Ex.Legal(a, b) {
+		if b == m || !selected[b] {
 			return
 		}
 		count++
@@ -181,118 +120,4 @@ func onlyVpins0(only [][]int, k, n int) []int {
 		all[i] = i
 	}
 	return all
-}
-
-// vpinIndex accelerates candidate enumeration: spatial buckets for
-// neighborhood queries and exact-y buckets for the "Y" configurations.
-type vpinIndex struct {
-	n    int
-	tile float64
-	nx   int
-	ny   int
-	grid [][]int32
-	byY  map[int64][]int32
-	xs   []float64
-	ys   []float64
-}
-
-func newVpinIndex(ch *split.Challenge) *vpinIndex {
-	die := ch.Design.Die()
-	n := len(ch.VPins)
-	ix := &vpinIndex{
-		n:    n,
-		tile: float64(die.Width()) / 32,
-		byY:  make(map[int64][]int32),
-		xs:   make([]float64, n),
-		ys:   make([]float64, n),
-	}
-	if ix.tile <= 0 {
-		ix.tile = 1
-	}
-	ix.nx = int(float64(die.Width())/ix.tile) + 2
-	ix.ny = int(float64(die.Height())/ix.tile) + 2
-	ix.grid = make([][]int32, ix.nx*ix.ny)
-	for i := range ch.VPins {
-		x := float64(ch.VPins[i].Pos.X)
-		y := float64(ch.VPins[i].Pos.Y)
-		ix.xs[i], ix.ys[i] = x, y
-		tx, ty := ix.tileOf(x, y)
-		ix.grid[ty*ix.nx+tx] = append(ix.grid[ty*ix.nx+tx], int32(i))
-		yi := int64(ch.VPins[i].Pos.Y)
-		ix.byY[yi] = append(ix.byY[yi], int32(i))
-	}
-	return ix
-}
-
-func (ix *vpinIndex) tileOf(x, y float64) (int, int) {
-	tx := int(x / ix.tile)
-	ty := int(y / ix.tile)
-	if tx < 0 {
-		tx = 0
-	}
-	if ty < 0 {
-		ty = 0
-	}
-	if tx >= ix.nx {
-		tx = ix.nx - 1
-	}
-	if ty >= ix.ny {
-		ty = ix.ny - 1
-	}
-	return tx, ty
-}
-
-// candidates invokes fn for every v-pin b that passes the geometric
-// pre-filters relative to a (excluding a itself). Legality is not checked
-// here; callers apply pairFilter.admits or an equivalent.
-func (ix *vpinIndex) candidates(a int, radius float64, yLimit bool, fn func(b int32)) {
-	if yLimit {
-		for _, b := range ix.byY[int64(ix.ys[a])] {
-			if int(b) == a {
-				continue
-			}
-			if radius >= 0 {
-				d := ix.xs[a] - ix.xs[int(b)]
-				if d < 0 {
-					d = -d
-				}
-				if d > radius {
-					continue
-				}
-			}
-			fn(b)
-		}
-		return
-	}
-	if radius < 0 {
-		for b := int32(0); b < int32(ix.n); b++ {
-			if int(b) != a {
-				fn(b)
-			}
-		}
-		return
-	}
-	x, y := ix.xs[a], ix.ys[a]
-	tx0, ty0 := ix.tileOf(x-radius, y-radius)
-	tx1, ty1 := ix.tileOf(x+radius, y+radius)
-	for ty := ty0; ty <= ty1; ty++ {
-		for tx := tx0; tx <= tx1; tx++ {
-			for _, b := range ix.grid[ty*ix.nx+tx] {
-				if int(b) == a {
-					continue
-				}
-				dx := x - ix.xs[b]
-				if dx < 0 {
-					dx = -dx
-				}
-				dy := y - ix.ys[b]
-				if dy < 0 {
-					dy = -dy
-				}
-				if dx+dy <= radius {
-					fn(b)
-				}
-			}
-		}
-	}
 }

@@ -2,89 +2,8 @@ package attack
 
 import (
 	"math/rand"
-	"sort"
 	"testing"
 )
-
-// bruteCandidates computes the candidate set of a by scanning all v-pins —
-// the reference the spatial index must match exactly.
-func bruteCandidates(inst *Instance, a int, radius float64, yLimit bool) []int {
-	var out []int
-	for b := 0; b < inst.N(); b++ {
-		if b == a {
-			continue
-		}
-		if yLimit && inst.Ex.DiffVpinYOf(a, b) != 0 {
-			continue
-		}
-		if radius >= 0 && inst.Ex.VpinDist(a, b) > radius {
-			continue
-		}
-		out = append(out, b)
-	}
-	sort.Ints(out)
-	return out
-}
-
-func indexCandidates(inst *Instance, a int, radius float64, yLimit bool) []int {
-	var out []int
-	inst.ix.candidates(a, radius, yLimit, func(b int32) {
-		out = append(out, int(b))
-	})
-	sort.Ints(out)
-	return out
-}
-
-func equalInts(a, b []int) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}
-
-func TestVpinIndexMatchesBruteForce(t *testing.T) {
-	chs := challenges(t, 6)
-	inst := NewInstance(chs[4]) // smallest design
-	dieW := inst.dieW
-	rng := rand.New(rand.NewSource(1))
-	radii := []float64{-1, 0, dieW * 0.01, dieW * 0.1, dieW * 0.5, dieW * 3}
-	for trial := 0; trial < 40; trial++ {
-		a := rng.Intn(inst.N())
-		for _, r := range radii {
-			for _, yLimit := range []bool{false, true} {
-				want := bruteCandidates(inst, a, r, yLimit)
-				got := indexCandidates(inst, a, r, yLimit)
-				if !equalInts(got, want) {
-					t.Fatalf("v-pin %d radius %.0f yLimit=%v: index %d candidates, brute force %d",
-						a, r, yLimit, len(got), len(want))
-				}
-			}
-		}
-	}
-}
-
-func TestVpinIndexTopLayerYBuckets(t *testing.T) {
-	// At split layer 8 every true match shares its partner's y, so the
-	// y-limited candidate set must always contain the match.
-	chs := challenges(t, 8)
-	inst := NewInstance(chs[0])
-	for a := 0; a < inst.N(); a++ {
-		found := false
-		inst.ix.candidates(a, -1, true, func(b int32) {
-			if int(b) == inst.Match(a) {
-				found = true
-			}
-		})
-		if !found {
-			t.Fatalf("y-limited candidates of %d exclude its true match", a)
-		}
-	}
-}
 
 func TestPairFilterRules(t *testing.T) {
 	chs := challenges(t, 6)
@@ -92,11 +11,11 @@ func TestPairFilterRules(t *testing.T) {
 
 	// No filters: everything legal and distinct is admitted.
 	open := newPairFilter(inst, ML9().withDefaults(), -1)
-	if open.admits(0, 0) {
+	if open.Admits(0, 0) {
 		t.Error("self-pair admitted")
 	}
 	m := inst.Match(0)
-	if !open.admits(0, m) {
+	if !open.Admits(0, m) {
 		t.Error("true match not admitted without filters")
 	}
 
@@ -105,7 +24,7 @@ func TestPairFilterRules(t *testing.T) {
 	tight := newPairFilter(inst, cfg, 0)
 	admittedAny := false
 	for b := 0; b < inst.N() && !admittedAny; b++ {
-		if b != 0 && tight.admits(0, b) && inst.Ex.VpinDist(0, b) > 0 {
+		if b != 0 && tight.Admits(0, b) && inst.Ex.VpinDist(0, b) > 0 {
 			admittedAny = true
 		}
 	}
@@ -117,7 +36,7 @@ func TestPairFilterRules(t *testing.T) {
 	ycfg := WithY(ML9()).withDefaults()
 	yf := newPairFilter(inst, ycfg, -1)
 	for b := 1; b < inst.N(); b++ {
-		if inst.Ex.DiffVpinYOf(0, b) != 0 && yf.admits(0, b) {
+		if inst.Ex.DiffVpinYOf(0, b) != 0 && yf.Admits(0, b) {
 			t.Fatalf("Y filter admitted pair with DiffVpinY %f", inst.Ex.DiffVpinYOf(0, b))
 		}
 	}
@@ -134,7 +53,7 @@ func TestPairFilterRules(t *testing.T) {
 			}
 		}
 	}
-	if d1 >= 0 && d2 >= 0 && open.admits(d1, d2) {
+	if d1 >= 0 && d2 >= 0 && open.Admits(d1, d2) {
 		t.Error("driver-driver pair admitted")
 	}
 }
@@ -156,14 +75,14 @@ func TestSampleNegativeRespectsFilters(t *testing.T) {
 	for trial := 0; trial < 100; trial++ {
 		a := rng.Intn(inst.N())
 		m := inst.Match(a)
-		b, ok := sampleNegative(inst, filter, vpins, selected, a, m, rng)
+		b, ok := sampleNegative(filter, vpins, selected, a, m, rng)
 		if !ok {
 			continue // legitimately no admitted negative for this v-pin
 		}
 		if b == m || b == a {
 			t.Fatalf("negative sample returned the match or self")
 		}
-		if !filter.admits(a, b) {
+		if !filter.Admits(a, b) {
 			t.Fatalf("negative sample (%d,%d) violates the filter", a, b)
 		}
 	}

@@ -45,6 +45,7 @@ type Suite struct {
 
 	mu    sync.Mutex
 	chs   map[int][]*split.Challenge
+	insts map[string][]*attack.Instance
 	runs  map[string]*attack.Result
 	noisy map[string][]*split.Challenge
 	pa    map[string][]attack.PAOutcome
@@ -80,11 +81,7 @@ func NewSuiteParallel(o *obs.Context, scale float64, seed int64, workers int) (*
 
 // cacheLookup records a suite-cache outcome on the metrics registry.
 func (s *Suite) cacheLookup(hit bool) {
-	if hit {
-		s.Obs.Metrics().Counter("suite.cache.hit").Inc()
-	} else {
-		s.Obs.Metrics().Counter("suite.cache.miss").Inc()
-	}
+	s.Obs.Metrics().Cache("suite.cache").Lookup(hit)
 }
 
 // NewSuiteFromDesigns wraps already-generated designs in a Suite with
@@ -96,6 +93,7 @@ func NewSuiteFromDesigns(designs []*layout.Design, scale float64, seed int64) *S
 		Scale:   scale,
 		Seed:    seed,
 		chs:     map[int][]*split.Challenge{},
+		insts:   map[string][]*attack.Instance{},
 		runs:    map[string]*attack.Result{},
 		noisy:   map[string][]*split.Challenge{},
 		pa:      map[string][]attack.PAOutcome{},
@@ -152,6 +150,32 @@ func (s *Suite) NoisyChallenges(layer int, sd float64) ([]*split.Challenge, erro
 	return chs, nil
 }
 
+// Instances returns (and caches) the prepared attack instances — feature
+// extractors plus spatial pair indexes — for a split layer and noise level
+// (sd 0 selects the clean challenges). Instances are immutable, so one set
+// is shared by every attack run, sweep, and figure at the same (layer,
+// noise) coordinates; multi-config sweeps stop re-deriving per-v-pin
+// features. Lookups are counted under "suite.instances.hit"/".miss".
+func (s *Suite) Instances(layer int, sd float64) ([]*attack.Instance, error) {
+	key := fmt.Sprintf("%d/%g", layer, sd)
+	s.mu.Lock()
+	in, ok := s.insts[key]
+	s.mu.Unlock()
+	s.Obs.Metrics().Cache("suite.instances").Lookup(ok)
+	if ok {
+		return in, nil
+	}
+	chs, err := s.NoisyChallenges(layer, sd)
+	if err != nil {
+		return nil, err
+	}
+	in = attack.NewInstancesWorkers(chs, s.Workers)
+	s.mu.Lock()
+	s.insts[key] = in
+	s.mu.Unlock()
+	return in, nil
+}
+
 // prepare stamps a config with the suite's seed, worker bound, and
 // observability context before an attack run. A config's own Workers, when
 // set, wins over the suite's.
@@ -179,11 +203,11 @@ func (s *Suite) Run(cfg attack.Config, layer int) (*attack.Result, error) {
 	s.mu.Unlock()
 	s.cacheLookup(false)
 
-	chs, err := s.Challenges(layer)
+	insts, err := s.Instances(layer, 0)
 	if err != nil {
 		return nil, err
 	}
-	r, err := attack.Run(s.prepare(cfg), chs)
+	r, err := attack.RunInstances(s.prepare(cfg), insts)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +231,7 @@ func (s *Suite) RunPA(cfg attack.Config, layer int, sd float64) ([]attack.PAOutc
 	s.mu.Unlock()
 	s.cacheLookup(false)
 
-	chs, err := s.NoisyChallenges(layer, sd)
+	insts, err := s.Instances(layer, sd)
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +247,7 @@ func (s *Suite) RunPA(cfg attack.Config, layer int, sd float64) ([]attack.PAOutc
 			return nil, err
 		}
 	}
-	o, err := attack.RunProximityOn(s.prepare(cfg), chs, prior)
+	o, err := attack.RunProximityOnInstances(s.prepare(cfg), insts, prior)
 	if err != nil {
 		return nil, err
 	}
@@ -249,11 +273,11 @@ func (s *Suite) RunNoisy(cfg attack.Config, layer int, sd float64) (*attack.Resu
 	s.mu.Unlock()
 	s.cacheLookup(false)
 
-	chs, err := s.NoisyChallenges(layer, sd)
+	insts, err := s.Instances(layer, sd)
 	if err != nil {
 		return nil, err
 	}
-	r, err := attack.Run(s.prepare(cfg), chs)
+	r, err := attack.RunInstances(s.prepare(cfg), insts)
 	if err != nil {
 		return nil, err
 	}

@@ -67,11 +67,10 @@ func Fig4(s *Suite, w io.Writer) error {
 // design (neighborhood radius taken from the other designs, as in the
 // leave-one-out discipline).
 func figTrainingSamples(s *Suite, layer, design int) (*ml.Dataset, error) {
-	chs, err := s.Challenges(layer)
+	insts, err := s.Instances(layer, 0)
 	if err != nil {
 		return nil, err
 	}
-	insts := attack.NewInstances(chs)
 	var trainInsts []*attack.Instance
 	for i, inst := range insts {
 		if i != design {

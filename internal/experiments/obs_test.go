@@ -50,6 +50,30 @@ func TestSuiteMetrics(t *testing.T) {
 	}
 }
 
+// TestSuiteInstanceCacheHits sweeps two configurations at one layer and
+// checks that the second run reuses the prepared instances: the
+// (layer, noise) instance cache must record at least one hit.
+func TestSuiteInstanceCacheHits(t *testing.T) {
+	o := obs.New(obs.Options{Command: "test"})
+	s := NewSuiteFromDesigns(testSuite(t).Designs, 0.12, 3)
+	s.Obs = o
+
+	if _, err := s.Run(attack.Imp9(), 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(attack.ML9(), 8); err != nil {
+		t.Fatal(err)
+	}
+
+	ic := o.Metrics().Cache("suite.instances")
+	if ic.Misses() < 1 {
+		t.Errorf("suite.instances.miss = %d, want >= 1 (first config must build)", ic.Misses())
+	}
+	if ic.Hits() < 1 {
+		t.Errorf("suite.instances.hit = %d, want >= 1 (second config must reuse instances)", ic.Hits())
+	}
+}
+
 // TestSuiteRunExperimentObs checks the per-experiment span and counter.
 func TestSuiteRunExperimentObs(t *testing.T) {
 	o := obs.New(obs.Options{Command: "test"})

@@ -1,7 +1,9 @@
 package ml
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -32,7 +34,7 @@ func InfoGain(xs []float64, ys []bool, bins int) float64 {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return xs[order[a]] < xs[order[b]] })
+	slices.SortFunc(order, func(a, b int) int { return cmp.Compare(xs[a], xs[b]) })
 
 	var cond float64
 	n := len(order)

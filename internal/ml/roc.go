@@ -1,6 +1,9 @@
 package ml
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // AUC computes the area under the ROC curve from scores and binary labels
 // using the rank statistic (equivalent to the Mann-Whitney U), with the
@@ -15,7 +18,7 @@ func AUC(scores []float64, labels []bool) float64 {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	slices.SortFunc(idx, func(a, b int) int { return cmp.Compare(scores[a], scores[b]) })
 
 	// Assign average ranks to ties (1-based ranks).
 	ranks := make([]float64, len(scores))
@@ -64,7 +67,7 @@ func ROC(scores []float64, labels []bool) []ROCPoint {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	slices.SortFunc(idx, func(a, b int) int { return cmp.Compare(scores[b], scores[a]) })
 	var nPos, nNeg float64
 	for _, y := range labels {
 		if y {

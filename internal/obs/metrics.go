@@ -73,6 +73,35 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// CacheStats pairs the hit/miss counters of one named cache: lookups land
+// in snapshots and run reports under "<name>.hit" and "<name>.miss". Like
+// every instrument it is nil-safe — a CacheStats from a nil registry
+// no-ops.
+type CacheStats struct {
+	hit, miss *Counter
+}
+
+// Cache returns the hit/miss counter pair of the named cache, creating the
+// counters if needed.
+func (r *Registry) Cache(name string) CacheStats {
+	return CacheStats{hit: r.Counter(name + ".hit"), miss: r.Counter(name + ".miss")}
+}
+
+// Lookup records one cache-lookup outcome.
+func (c CacheStats) Lookup(hit bool) {
+	if hit {
+		c.hit.Inc()
+	} else {
+		c.miss.Inc()
+	}
+}
+
+// Hits returns the hit count so far.
+func (c CacheStats) Hits() int64 { return c.hit.Value() }
+
+// Misses returns the miss count so far.
+func (c CacheStats) Misses() int64 { return c.miss.Value() }
+
 // Counter is a monotonically increasing integer.
 type Counter struct{ v atomic.Int64 }
 

@@ -1,0 +1,61 @@
+package pairs
+
+// Filter bundles the candidate-pair admission rules of one attack
+// configuration for one instance: legality, the Imp neighborhood radius,
+// and the DiffVpinY limit. The zero Filter is not meaningful; construct
+// through Instance.Filter.
+type Filter struct {
+	inst   *Instance
+	radius float64 // absolute DBU; <0 disables the neighborhood test
+	yLimit bool
+}
+
+// Filter builds the admission filter for this instance. radiusNorm is the
+// neighborhood radius as a fraction of die width (< 0 disables the
+// neighborhood test); yLimit enables the DiffVpinY = 0 restriction of the
+// "Y" configurations (§III-G).
+func (inst *Instance) Filter(radiusNorm float64, yLimit bool) Filter {
+	f := Filter{inst: inst, radius: -1, yLimit: yLimit}
+	if radiusNorm >= 0 {
+		f.radius = radiusNorm * inst.dieW
+	}
+	return f
+}
+
+// Instance returns the instance the filter admits pairs of.
+func (f Filter) Instance() *Instance { return f.inst }
+
+// Admits reports whether the pair (a, b) may be trained on or tested.
+func (f Filter) Admits(a, b int) bool {
+	if a == b || !f.inst.Ex.Legal(a, b) {
+		return false
+	}
+	if f.yLimit && f.inst.Ex.DiffVpinYOf(a, b) != 0 {
+		return false
+	}
+	if f.radius >= 0 && f.inst.Ex.VpinDist(a, b) > f.radius {
+		return false
+	}
+	return true
+}
+
+// Enumerate invokes fn for every admitted candidate b of v-pin a, in the
+// pipeline's canonical deterministic order (the index's bucket walk).
+// Enumerate(a, fn) visits exactly the b with Admits(a, b), but uses the
+// spatial index to skip the geometric rejections instead of testing every
+// pair.
+func (f Filter) Enumerate(a int, fn func(b int32)) {
+	f.inst.ix.candidates(a, f.radius, f.yLimit, func(b int32) {
+		if f.inst.Ex.Legal(a, int(b)) {
+			fn(b)
+		}
+	})
+}
+
+// EnumerateGeometric invokes fn for every candidate b of v-pin a that
+// passes the geometric pre-filters only (neighborhood, y-limit) — legality
+// is not checked. Reservoir sampling over near-admitted candidates uses
+// this to apply its own interleaved checks.
+func (f Filter) EnumerateGeometric(a int, fn func(b int32)) {
+	f.inst.ix.candidates(a, f.radius, f.yLimit, fn)
+}

@@ -1,0 +1,170 @@
+package pairs
+
+import "repro/internal/features"
+
+// Gatherer is one scoring worker's reusable arena: it collects a v-pin's
+// admitted candidates (ids, distances, feature rows) and scores them
+// through a Backend. All slices grow to the largest candidate set the
+// worker has seen and are then reused, so steady-state gathering and
+// scoring allocate nothing. A Gatherer is not safe for concurrent use; use
+// one per worker.
+type Gatherer struct {
+	// Ids[k] is the k-th admitted candidate of the current v-pin, in the
+	// canonical enumeration order — the same order the scalar oracle scores
+	// in, which is what keeps heap tie-breaking identical across backends.
+	Ids []int32
+	// D[k] is the ManhattanVpin distance of candidate k.
+	D []float32
+	// P[k] is candidate k's final probability after Score; under two-level
+	// pruning gate-rejected candidates score -1, exactly like the scalar
+	// TwoLevel composition.
+	P []float64
+	// rows is the row-major feature matrix: candidate k occupies
+	// rows[k*features.NumFeatures : (k+1)*features.NumFeatures].
+	rows []float64
+	// p2 holds level-2 probabilities of the gate's survivors.
+	p2 []float64
+	// Batches and BatchRows count ProbBatch calls and the rows scored
+	// through them, across the Gatherer's lifetime. The scalar backend
+	// leaves them untouched.
+	Batches   int64
+	BatchRows int64
+}
+
+// Gather collects v-pin a's admitted candidates under the filter: ids,
+// distances, and the feature matrix, in the canonical enumeration order.
+// Previously gathered state is discarded.
+func (g *Gatherer) Gather(f Filter, a int) {
+	const stride = features.NumFeatures
+	inst := f.inst
+	g.Ids = g.Ids[:0]
+	g.D = g.D[:0]
+	g.rows = g.rows[:0]
+	f.Enumerate(a, func(b32 int32) {
+		b := int(b32)
+		g.Ids = append(g.Ids, b32)
+		g.D = append(g.D, float32(inst.Ex.VpinDist(a, b)))
+		k := len(g.rows)
+		if k+stride <= cap(g.rows) {
+			g.rows = g.rows[:k+stride]
+		} else {
+			g.rows = append(g.rows, make([]float64, stride)...)
+		}
+		inst.Ex.Pair(a, b, g.rows[k:k+stride])
+	})
+}
+
+// Score runs the gathered candidates through the backend, filling P with
+// one probability per gathered candidate.
+func (g *Gatherer) Score(b Backend) {
+	k := len(g.Ids)
+	if cap(g.P) < k {
+		g.P = make([]float64, k)
+	}
+	g.P = g.P[:k]
+	if k == 0 {
+		return
+	}
+	b.score(g)
+}
+
+// Backend scores a gathered arena. The two implementations — the batched
+// flat-arena fast path and the per-pair scalar oracle — consume the same
+// rows in the same order and produce bit-identical probabilities; which
+// one runs is a pure performance choice. Construct through ResolveBackend.
+type Backend interface {
+	score(g *Gatherer)
+}
+
+// ResolveBackend resolves a trained model into its scoring backend. Models
+// whose every level implements BatchScorer get the batched path; custom
+// scalar-only Learners, mixed two-level compositions, and the forceScalar
+// oracle (Config.ScalarScoring) fall back to per-row Prob over the same
+// arena. A two-level model batches only when both levels do: mixing a
+// batched level with a scalar one would complicate the contract for no
+// caller that exists.
+func ResolveBackend(model Scorer, forceScalar bool) Backend {
+	if !forceScalar {
+		switch m := model.(type) {
+		case *TwoLevel:
+			b1, ok1 := m.L1.(BatchScorer)
+			b2, ok2 := m.L2.(BatchScorer)
+			if ok1 && ok2 {
+				return &batchBackend{b1: b1, b2: b2}
+			}
+		case BatchScorer:
+			return &batchBackend{b1: m}
+		}
+	}
+	return &scalarBackend{model: model}
+}
+
+// Batched reports whether the backend is the batched fast path.
+func Batched(b Backend) bool {
+	_, ok := b.(*batchBackend)
+	return ok
+}
+
+// scalarBackend scores the arena one row at a time through the model's
+// Prob — the oracle the batched path is verified against.
+type scalarBackend struct {
+	model Scorer
+}
+
+func (s *scalarBackend) score(g *Gatherer) {
+	const stride = features.NumFeatures
+	for k := range g.Ids {
+		g.P[k] = s.model.Prob(g.rows[k*stride : (k+1)*stride])
+	}
+}
+
+// batchBackend scores the arena in one ProbBatch call per model level. b2
+// is the level-2 model under two-level pruning, nil otherwise. Under
+// two-level pruning, level 1 scores all rows first; surviving rows
+// (p1 >= 0.5, the gate of TwoLevel.Prob) are compacted to the front of the
+// matrix in place, level 2 scores only the survivors, and the results
+// scatter back over the gate: rejected candidates score -1, exactly like
+// the scalar composition.
+type batchBackend struct {
+	b1 BatchScorer
+	b2 BatchScorer
+}
+
+func (eng *batchBackend) score(g *Gatherer) {
+	const stride = features.NumFeatures
+	k := len(g.Ids)
+	eng.b1.ProbBatch(g.rows, stride, g.P)
+	g.Batches++
+	g.BatchRows += int64(k)
+	if eng.b2 == nil {
+		return
+	}
+	surv := 0
+	for i := 0; i < k; i++ {
+		if g.P[i] < 0.5 {
+			continue
+		}
+		if surv != i {
+			copy(g.rows[surv*stride:(surv+1)*stride], g.rows[i*stride:(i+1)*stride])
+		}
+		surv++
+	}
+	if cap(g.p2) < surv {
+		g.p2 = make([]float64, surv)
+	}
+	g.p2 = g.p2[:surv]
+	if surv > 0 {
+		eng.b2.ProbBatch(g.rows[:surv*stride], stride, g.p2)
+		g.Batches++
+		g.BatchRows += int64(surv)
+	}
+	s := 0
+	for i := 0; i < k; i++ {
+		if g.P[i] < 0.5 {
+			g.P[i] = -1
+		} else {
+			g.P[i] = g.p2[s]
+			s++
+		}
+	}
+}

@@ -1,0 +1,418 @@
+package pairs
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/features"
+	"repro/internal/layout"
+	"repro/internal/split"
+)
+
+// Shared test fixtures: one small suite, challenges per layer, generated
+// once per test binary.
+var (
+	fixOnce sync.Once
+	fixErr  error
+	fixChs  map[int][]*split.Challenge
+)
+
+func challenges(t testing.TB, layer int) []*split.Challenge {
+	t.Helper()
+	fixOnce.Do(func() {
+		designs, err := layout.GenerateSuite(layout.SuiteConfig{Scale: 0.2, Seed: 5})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixChs = map[int][]*split.Challenge{}
+		for _, layer := range []int{6, 8} {
+			for _, d := range designs {
+				c, err := split.NewChallenge(d, layer)
+				if err != nil {
+					fixErr = err
+					return
+				}
+				fixChs[layer] = append(fixChs[layer], c)
+			}
+		}
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixChs[layer]
+}
+
+// bruteCandidates computes the candidate set of a by scanning all v-pins —
+// the reference the spatial index must match exactly.
+func bruteCandidates(inst *Instance, a int, radius float64, yLimit bool) []int {
+	var out []int
+	for b := 0; b < inst.N(); b++ {
+		if b == a {
+			continue
+		}
+		if yLimit && inst.Ex.DiffVpinYOf(a, b) != 0 {
+			continue
+		}
+		if radius >= 0 && inst.Ex.VpinDist(a, b) > radius {
+			continue
+		}
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func indexCandidates(inst *Instance, a int, radius float64, yLimit bool) []int {
+	var out []int
+	inst.ix.candidates(a, radius, yLimit, func(b int32) {
+		out = append(out, int(b))
+	})
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVpinIndexMatchesBruteForce(t *testing.T) {
+	chs := challenges(t, 6)
+	inst := New(chs[4]) // smallest design
+	dieW := inst.DieWidth()
+	rng := rand.New(rand.NewSource(1))
+	radii := []float64{-1, 0, dieW * 0.01, dieW * 0.1, dieW * 0.5, dieW * 3}
+	for trial := 0; trial < 40; trial++ {
+		a := rng.Intn(inst.N())
+		for _, r := range radii {
+			for _, yLimit := range []bool{false, true} {
+				want := bruteCandidates(inst, a, r, yLimit)
+				got := indexCandidates(inst, a, r, yLimit)
+				if !equalInts(got, want) {
+					t.Fatalf("v-pin %d radius %.0f yLimit=%v: index %d candidates, brute force %d",
+						a, r, yLimit, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestVpinIndexTopLayerYBuckets(t *testing.T) {
+	// At split layer 8 every true match shares its partner's y, so the
+	// y-limited candidate set must always contain the match.
+	chs := challenges(t, 8)
+	inst := New(chs[0])
+	for a := 0; a < inst.N(); a++ {
+		found := false
+		inst.ix.candidates(a, -1, true, func(b int32) {
+			if int(b) == inst.Match(a) {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("y-limited candidates of %d exclude its true match", a)
+		}
+	}
+}
+
+// referenceEnumeration reimplements the pre-refactor scalar enumeration
+// order from the raw challenge: tile buckets in v-pin insertion order
+// walked row-major (or the exact-y bucket under the Y limit), with the
+// legality check applied on top. The pipeline's Enumerate must reproduce
+// it exactly — heap tie-breaking downstream depends on this order, so a
+// silent reordering would change attack output.
+func referenceEnumeration(ch *split.Challenge, a int, radius float64, yLimit bool) []int32 {
+	die := ch.Design.Die()
+	legal := func(b int) bool { return split.LegalPair(&ch.VPins[a], &ch.VPins[b]) }
+	xs := func(i int) float64 { return float64(ch.VPins[i].Pos.X) }
+	ys := func(i int) float64 { return float64(ch.VPins[i].Pos.Y) }
+	var out []int32
+
+	if yLimit {
+		// Exact-y buckets, v-pin insertion order.
+		for b := range ch.VPins {
+			if b == a || int64(ch.VPins[b].Pos.Y) != int64(ch.VPins[a].Pos.Y) {
+				continue
+			}
+			if radius >= 0 {
+				dx := xs(a) - xs(b)
+				if dx < 0 {
+					dx = -dx
+				}
+				if dx > radius {
+					continue
+				}
+			}
+			if legal(b) {
+				out = append(out, int32(b))
+			}
+		}
+		return out
+	}
+	if radius < 0 {
+		for b := range ch.VPins {
+			if b != a && legal(b) {
+				out = append(out, int32(b))
+			}
+		}
+		return out
+	}
+
+	// Tile buckets in insertion order, walked row-major over the window.
+	tile := float64(die.Width()) / 32
+	if tile <= 0 {
+		tile = 1
+	}
+	nx := int(float64(die.Width())/tile) + 2
+	ny := int(float64(die.Height())/tile) + 2
+	tileOf := func(x, y float64) (int, int) {
+		tx, ty := int(x/tile), int(y/tile)
+		tx = max(0, min(tx, nx-1))
+		ty = max(0, min(ty, ny-1))
+		return tx, ty
+	}
+	grid := make([][]int32, nx*ny)
+	for b := range ch.VPins {
+		tx, ty := tileOf(xs(b), ys(b))
+		grid[ty*nx+tx] = append(grid[ty*nx+tx], int32(b))
+	}
+	tx0, ty0 := tileOf(xs(a)-radius, ys(a)-radius)
+	tx1, ty1 := tileOf(xs(a)+radius, ys(a)+radius)
+	for ty := ty0; ty <= ty1; ty++ {
+		for tx := tx0; tx <= tx1; tx++ {
+			for _, b := range grid[ty*nx+tx] {
+				if int(b) == a {
+					continue
+				}
+				dx := xs(a) - xs(int(b))
+				if dx < 0 {
+					dx = -dx
+				}
+				dy := ys(a) - ys(int(b))
+				if dy < 0 {
+					dy = -dy
+				}
+				if dx+dy <= radius && legal(int(b)) {
+					out = append(out, b)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestEnumerationOrderMatchesReference(t *testing.T) {
+	chs := challenges(t, 6)
+	inst := New(chs[4])
+	rng := rand.New(rand.NewSource(2))
+	cases := []struct {
+		radiusNorm float64
+		yLimit     bool
+	}{
+		{-1, false}, {-1, true}, {0.05, false}, {0.05, true}, {0.5, false},
+	}
+	for trial := 0; trial < 25; trial++ {
+		a := rng.Intn(inst.N())
+		for _, tc := range cases {
+			f := inst.Filter(tc.radiusNorm, tc.yLimit)
+			var got []int32
+			f.Enumerate(a, func(b int32) { got = append(got, b) })
+			want := referenceEnumeration(inst.Ch, a, f.radius, tc.yLimit)
+			if len(got) != len(want) {
+				t.Fatalf("v-pin %d radiusNorm %g yLimit=%v: got %d candidates, reference %d",
+					a, tc.radiusNorm, tc.yLimit, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("v-pin %d radiusNorm %g yLimit=%v: order diverges at %d: got %d, reference %d",
+						a, tc.radiusNorm, tc.yLimit, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateAgreesWithAdmits pins the contract that Enumerate visits
+// exactly the candidates Admits accepts, whatever the filter settings.
+func TestEnumerateAgreesWithAdmits(t *testing.T) {
+	chs := challenges(t, 6)
+	inst := New(chs[4])
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		a := rng.Intn(inst.N())
+		for _, radiusNorm := range []float64{-1, 0, 0.05} {
+			for _, yLimit := range []bool{false, true} {
+				f := inst.Filter(radiusNorm, yLimit)
+				seen := map[int]bool{}
+				f.Enumerate(a, func(b int32) { seen[int(b)] = true })
+				for b := 0; b < inst.N(); b++ {
+					if f.Admits(a, b) != seen[b] {
+						t.Fatalf("v-pin (%d,%d) radiusNorm %g yLimit=%v: Admits=%v, enumerated=%v",
+							a, b, radiusNorm, yLimit, f.Admits(a, b), seen[b])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFilterRadiusZero checks the degenerate neighborhood: radius 0 admits
+// only exactly co-located pairs.
+func TestFilterRadiusZero(t *testing.T) {
+	chs := challenges(t, 6)
+	inst := New(chs[4])
+	f := inst.Filter(0, false)
+	for a := 0; a < inst.N(); a++ {
+		f.Enumerate(a, func(b int32) {
+			if inst.Ex.VpinDist(a, int(b)) != 0 {
+				t.Fatalf("radius 0 admitted (%d,%d) at distance %g", a, b, inst.Ex.VpinDist(a, int(b)))
+			}
+		})
+	}
+}
+
+// constScorer is a trivial scalar-only model for backend tests.
+type constScorer struct{ p float64 }
+
+func (c constScorer) Prob([]float64) float64 { return c.p }
+
+// TestYLimitZeroCandidates restricts a challenge to two v-pins on
+// different y tracks: the Y limit must then admit nothing, and an empty
+// gather must score cleanly on both backends.
+func TestYLimitZeroCandidates(t *testing.T) {
+	chs := challenges(t, 6)
+	ch := chs[4]
+	// Find a legal pair on different y tracks.
+	b := -1
+	for i := 1; i < len(ch.VPins); i++ {
+		if int64(ch.VPins[i].Pos.Y) != int64(ch.VPins[0].Pos.Y) &&
+			split.LegalPair(&ch.VPins[0], &ch.VPins[i]) {
+			b = i
+			break
+		}
+	}
+	if b < 0 {
+		t.Skip("no off-track legal pair in fixture")
+	}
+	inst := New(ch.Restrict([]int{0, b}))
+	f := inst.Filter(-1, true)
+	f.Enumerate(0, func(int32) { t.Fatal("Y limit admitted an off-track candidate") })
+
+	var g Gatherer
+	g.Gather(f, 0)
+	if len(g.Ids) != 0 {
+		t.Fatalf("empty filter gathered %d candidates", len(g.Ids))
+	}
+	g.Score(ResolveBackend(constScorer{p: 0.9}, false))
+	if len(g.P) != 0 {
+		t.Fatalf("empty gather scored %d probabilities", len(g.P))
+	}
+}
+
+// TestSingleVpinInstance builds a one-v-pin challenge via Restrict: the
+// match is absent (-1), and every enumeration is empty.
+func TestSingleVpinInstance(t *testing.T) {
+	chs := challenges(t, 6)
+	inst := New(chs[4].Restrict([]int{0}))
+	if inst.N() != 1 {
+		t.Fatalf("restricted instance has %d v-pins, want 1", inst.N())
+	}
+	if m := inst.Match(0); m != -1 {
+		t.Fatalf("Match(0) = %d, want -1 (partner excluded)", m)
+	}
+	for _, radiusNorm := range []float64{-1, 0, 0.5} {
+		for _, yLimit := range []bool{false, true} {
+			f := inst.Filter(radiusNorm, yLimit)
+			f.Enumerate(0, func(b int32) {
+				t.Fatalf("singleton instance enumerated candidate %d", b)
+			})
+			var g Gatherer
+			g.Gather(f, 0)
+			if len(g.Ids) != 0 {
+				t.Fatalf("singleton instance gathered %d candidates", len(g.Ids))
+			}
+		}
+	}
+}
+
+// TestRestrictKeepsPairs checks that Restrict remaps surviving partners and
+// drops excluded ones.
+func TestRestrictKeepsPairs(t *testing.T) {
+	chs := challenges(t, 6)
+	ch := chs[4]
+	m := ch.VPins[0].Match
+	// Pick a third v-pin whose partner is outside the kept set.
+	c := -1
+	for i := range ch.VPins {
+		if i != 0 && i != m && ch.VPins[i].Match != 0 && ch.VPins[i].Match != m {
+			c = i
+			break
+		}
+	}
+	if c < 0 {
+		t.Fatal("fixture has no v-pin outside the first pair")
+	}
+	inst := New(ch.Restrict([]int{0, m, c}))
+	if got := inst.Match(0); got != 1 {
+		t.Errorf("Match(0) = %d, want 1 (partner remapped)", got)
+	}
+	if got := inst.Match(1); got != 0 {
+		t.Errorf("Match(1) = %d, want 0", got)
+	}
+	if got := inst.Match(2); got != -1 {
+		t.Errorf("Match(2) = %d, want -1 (partner excluded)", got)
+	}
+}
+
+// TestResolveBackendClassification pins the resolver's fallback rules:
+// scalar-only models (and two-level compositions containing one) must get
+// the per-row oracle, never the batched path.
+func TestResolveBackendClassification(t *testing.T) {
+	scalar := constScorer{p: 0.7}
+	if Batched(ResolveBackend(scalar, false)) {
+		t.Error("scalar-only model resolved to the batched backend")
+	}
+	two := &TwoLevel{L1: scalar, L2: scalar}
+	if Batched(ResolveBackend(two, false)) {
+		t.Error("scalar two-level model resolved to the batched backend")
+	}
+}
+
+// TestNewAllDeterministicAcrossWorkers checks that parallel instance
+// preparation yields the same instances as the serial build.
+func TestNewAllDeterministicAcrossWorkers(t *testing.T) {
+	chs := challenges(t, 6)
+	serial := NewAll(chs, 1)
+	parallel := NewAll(chs, 4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("serial built %d instances, parallel %d", len(serial), len(parallel))
+	}
+	row1 := make([]float64, features.NumFeatures)
+	row2 := make([]float64, features.NumFeatures)
+	for i := range serial {
+		if serial[i].Ch != parallel[i].Ch {
+			t.Fatalf("instance %d bound to a different challenge", i)
+		}
+		a, m := 0, serial[i].Match(0)
+		if m < 0 {
+			continue
+		}
+		serial[i].Ex.Pair(a, m, row1)
+		parallel[i].Ex.Pair(a, m, row2)
+		for f := range row1 {
+			if row1[f] != row2[f] {
+				t.Fatalf("instance %d feature %d differs: %g vs %g", i, f, row1[f], row2[f])
+			}
+		}
+	}
+}

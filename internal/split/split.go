@@ -205,6 +205,45 @@ func (c *Challenge) WithNoise(sd float64, rng *rand.Rand) *Challenge {
 	return nc
 }
 
+// Restrict returns a copy of the challenge containing only the listed
+// v-pins (in the given order), re-IDed 0..len(ids)-1. A v-pin whose true
+// partner is not in ids gets Match = -1, producing the degenerate
+// instances (single-sided nets, singleton v-pin sets) that exercise the
+// pair pipeline's edge cases. The RC grid is rebuilt from the restricted
+// set; the placement grid is shared with the original.
+func (c *Challenge) Restrict(ids []int) *Challenge {
+	remap := make(map[int]int, len(ids))
+	for newID, oldID := range ids {
+		remap[oldID] = newID
+	}
+	nc := &Challenge{
+		Design:     c.Design,
+		SplitLayer: c.SplitLayer,
+		VPins:      make([]VPin, len(ids)),
+		pinGrid:    c.pinGrid,
+	}
+	for newID, oldID := range ids {
+		v := c.VPins[oldID]
+		v.ID = newID
+		if m, ok := remap[v.Match]; ok {
+			v.Match = m
+		} else {
+			v.Match = -1
+		}
+		nc.VPins[newID] = v
+	}
+	die := c.Design.Die()
+	tile := die.Width() / 48
+	if tile <= 0 {
+		tile = 1
+	}
+	nc.vpinGrid = geom.NewGrid(die, tile)
+	for i := range nc.VPins {
+		nc.vpinGrid.Add(nc.VPins[i].Pos)
+	}
+	return nc
+}
+
 // CutNets returns the number of nets cut at the split layer.
 func (c *Challenge) CutNets() int { return len(c.VPins) / 2 }
 
