@@ -19,54 +19,42 @@ import (
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/cli"
 	"repro/internal/layout"
-	"repro/internal/obs"
+	"repro/internal/model"
 	"repro/internal/route"
 	"repro/internal/split"
 	"repro/internal/timing"
 )
 
 func main() {
-	scale := flag.Float64("scale", 1.0, "suite scale factor")
-	seed := flag.Int64("seed", 1, "generation seed")
-	out := flag.String("o", "", "directory to write <design>.sml files to")
-	scoringBench := flag.String("scoring-bench", "",
+	fs := flag.NewFlagSet("benchgen", flag.ExitOnError)
+	app := cli.New("benchgen", fs)
+	out := fs.String("o", "", "directory to write <design>.sml files to")
+	scoringBench := fs.String("scoring-bench", "",
 		"measure pair-scoring throughput (scalar oracle vs batched arena) on the generated suite and write the baseline JSON to this file, e.g. BENCH_scoring.json")
-	var cli obs.CLI
-	cli.Register(flag.CommandLine)
-	flag.Parse()
+	trainBench := fs.String("train-bench", "",
+		"measure cold-train vs warm artifact-load timings on the generated suite and write the baseline JSON to this file, e.g. BENCH_train.json")
+	o := app.Parse(os.Args[1:])
 
-	if cli.ShowVersion {
-		fmt.Println("benchgen", obs.Version())
-		return
-	}
-	o, err := cli.Setup("benchgen")
+	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{
+		Scale: app.Scale, Seed: app.Seed, Workers: app.Workers()})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-
-	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Scale: *scale, Seed: *seed, Workers: cli.Workers})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatal(err)
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			cli.Fatal(err)
 		}
 		for _, d := range designs {
 			path := filepath.Join(*out, d.Name+".sml")
 			f, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				cli.Fatal(err)
 			}
 			if err := layout.Save(f, d); err != nil {
 				f.Close()
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				cli.Fatal(err)
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", path)
@@ -86,8 +74,7 @@ func main() {
 		for _, layer := range []int{8, 6, 4} {
 			ch, err := split.NewChallengeObs(o, d, layer)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				cli.Fatal(err)
 			}
 			row += fmt.Sprintf("\t%d", len(ch.VPins))
 			stats[fmt.Sprintf("vpins@%d", layer)] = len(ch.VPins)
@@ -130,19 +117,20 @@ func main() {
 	tw.Flush()
 
 	if *scoringBench != "" {
-		if err := writeScoringBench(*scoringBench, designs, *scale, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if err := writeScoringBench(*scoringBench, designs, app.Scale, app.Seed); err != nil {
+			cli.Fatal(err)
 		}
 		fmt.Printf("\nwrote scoring baseline to %s\n", *scoringBench)
 	}
-
-	configMap := map[string]any{"scale": *scale, "seed": *seed, "workers": cli.Workers}
-	summary := map[string]any{"designs": designStats}
-	if err := cli.Finish(o, configMap, summary); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *trainBench != "" {
+		if err := writeTrainBench(*trainBench, designs, app.Scale, app.Seed); err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Printf("\nwrote training baseline to %s\n", *trainBench)
 	}
+
+	summary := map[string]any{"designs": designStats}
+	app.Finish(o, nil, summary)
 }
 
 // scoringBenchEntry is one config's scalar-vs-batch scoring measurement in
@@ -237,6 +225,114 @@ func writeScoringBench(path string, designs []*layout.Design, scale float64, see
 			"speedup":     float64(serialNs) / float64(parallelNs),
 		},
 		"configs": entries,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// trainBenchEntry is one config's cold-train vs warm-load measurement in
+// the BENCH_train.json baseline.
+type trainBenchEntry struct {
+	Config string `json:"config"`
+	// ColdTrainNs is a full in-process model.Train for fold 0: sampling,
+	// level-1 ensemble training, and (for two-level configs) the pruning
+	// stage.
+	ColdTrainNs int64 `json:"cold_train_ns"`
+	// EncodeNs and ArtifactBytes measure MarshalBinary on the trained
+	// artifact; WarmLoadNs measures UnmarshalArtifact on the same blob —
+	// the cost an `attack -model` run pays instead of ColdTrainNs.
+	EncodeNs      int64 `json:"encode_ns"`
+	ArtifactBytes int   `json:"artifact_bytes"`
+	WarmLoadNs    int64 `json:"warm_load_ns"`
+	// StoreMissNs and StoreHitNs are Store.GetOrTrain timings for the same
+	// spec: the first call trains, the second is served from the LRU.
+	StoreMissNs int64 `json:"store_miss_ns"`
+	StoreHitNs  int64 `json:"store_hit_ns"`
+	// Speedup is ColdTrainNs over WarmLoadNs: how much faster a sweep
+	// resumes when the fold's artifact is already on disk.
+	Speedup float64 `json:"speedup"`
+	Samples int     `json:"samples"`
+	Trees   int     `json:"trees"`
+}
+
+// writeTrainBench measures the train-once/score-many trade for fold 0 at
+// split layer 6: a cold in-process train, the artifact codec round-trip,
+// and a Store miss/hit pair, per standard configuration.
+func writeTrainBench(path string, designs []*layout.Design, scale float64, seed int64) error {
+	chs := make([]*split.Challenge, 0, len(designs))
+	for _, d := range designs {
+		c, err := split.NewChallenge(d, 6)
+		if err != nil {
+			return err
+		}
+		chs = append(chs, c)
+	}
+	insts := attack.NewInstancesWorkers(chs, 0)
+
+	twoLevel := attack.WithTwoLevel(attack.Imp11())
+	twoLevel.Name += "-2L"
+	configs := []attack.Config{attack.Imp11(), twoLevel}
+	entries := make([]trainBenchEntry, 0, len(configs))
+	for _, cfg := range configs {
+		cfg.Seed = seed
+		spec, _, err := attack.TrainSpec(cfg, insts, 0)
+		if err != nil {
+			return fmt.Errorf("train bench %s: %w", cfg.Name, err)
+		}
+
+		t0 := time.Now()
+		art, _, err := model.Train(spec)
+		if err != nil {
+			return fmt.Errorf("train bench %s: %w", cfg.Name, err)
+		}
+		coldNs := time.Since(t0).Nanoseconds()
+
+		t0 = time.Now()
+		blob, err := art.MarshalBinary()
+		if err != nil {
+			return fmt.Errorf("train bench %s: %w", cfg.Name, err)
+		}
+		encodeNs := time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		if _, err := model.UnmarshalArtifact(blob); err != nil {
+			return fmt.Errorf("train bench %s: %w", cfg.Name, err)
+		}
+		warmNs := time.Since(t0).Nanoseconds()
+
+		store := model.NewStore(0, "")
+		t0 = time.Now()
+		if _, _, err := store.GetOrTrain(spec); err != nil {
+			return fmt.Errorf("train bench %s: %w", cfg.Name, err)
+		}
+		missNs := time.Since(t0).Nanoseconds()
+		t0 = time.Now()
+		if _, _, err := store.GetOrTrain(spec); err != nil {
+			return fmt.Errorf("train bench %s: %w", cfg.Name, err)
+		}
+		hitNs := time.Since(t0).Nanoseconds()
+
+		entries = append(entries, trainBenchEntry{
+			Config:        cfg.Name,
+			ColdTrainNs:   coldNs,
+			EncodeNs:      encodeNs,
+			ArtifactBytes: len(blob),
+			WarmLoadNs:    warmNs,
+			StoreMissNs:   missNs,
+			StoreHitNs:    hitNs,
+			Speedup:       float64(coldNs) / float64(warmNs),
+			Samples:       art.Meta.Samples,
+			Trees:         art.Meta.Trees,
+		})
+	}
+	doc := map[string]any{
+		"scale":       scale,
+		"seed":        seed,
+		"split_layer": 6,
+		"fold":        0,
+		"configs":     entries,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -21,33 +21,22 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
-	"repro/internal/obs"
 )
 
 func main() {
-	scale := flag.Float64("scale", 1.0, "benchmark suite scale factor")
-	seed := flag.Int64("seed", 1, "generation and attack seed")
-	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-	list := flag.Bool("list", false, "list experiment IDs and exit")
-	var cli obs.CLI
-	cli.Register(flag.CommandLine)
-	flag.Parse()
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	app := cli.New("experiments", fs)
+	run := fs.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	o := app.Parse(os.Args[1:])
 
-	if cli.ShowVersion {
-		fmt.Println("experiments", obs.Version())
-		return
-	}
 	if *list {
 		for _, e := range experiments.AllWithExtensions() {
 			fmt.Printf("%-16s %s\n", e.ID, e.Title)
 		}
 		return
-	}
-	o, err := cli.Setup("experiments")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
 	}
 
 	var selected []experiments.Experiment
@@ -60,19 +49,17 @@ func main() {
 		for _, id := range strings.Split(*run, ",") {
 			e, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				cli.Usage("%v", err)
 			}
 			selected = append(selected, e)
 		}
 	}
 
-	fmt.Printf("Generating benchmark suite (scale %.2f, seed %d)...\n", *scale, *seed)
+	fmt.Printf("Generating benchmark suite (scale %.2f, seed %d)...\n", app.Scale, app.Seed)
 	t0 := time.Now()
-	suite, err := experiments.NewSuiteParallel(o, *scale, *seed, cli.Workers)
+	suite, err := experiments.NewSuiteParallel(o, app.Scale, app.Seed, app.Workers())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		cli.Fatal(err)
 	}
 	for _, d := range suite.Designs {
 		fmt.Printf("  %-5s cells=%d nets=%d\n", d.Name, len(d.Netlist.Cells), len(d.Netlist.Nets))
@@ -94,17 +81,18 @@ func main() {
 		durations[e.ID+"_ns"] = int64(d)
 	}
 
-	configMap := map[string]any{"scale": *scale, "seed": *seed, "run": *run, "workers": cli.Workers}
-	// Instance-cache effectiveness: how often a (layer, noise) sweep reused
-	// prepared extractors/indexes instead of re-deriving them.
+	configMap := map[string]any{"run": *run}
+	// Cache effectiveness: instance_cache is how often a (layer, noise)
+	// sweep reused prepared extractors/indexes; artifact_cache is how often
+	// a fold's trained model was reused instead of retrained (config sweeps
+	// and two-level runs sharing their level-1 stage).
 	ic := o.Metrics().Cache("suite.instances")
+	ac := o.Metrics().Cache("model.artifacts")
 	summary := map[string]any{
 		"experiments":          ran,
 		"experiment_durations": durations,
 		"instance_cache":       map[string]any{"hits": ic.Hits(), "misses": ic.Misses()},
+		"artifact_cache":       map[string]any{"hits": ac.Hits(), "misses": ac.Misses()},
 	}
-	if err := cli.Finish(o, configMap, summary); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	app.Finish(o, configMap, summary)
 }

@@ -3,6 +3,15 @@
 // all designs except the target, and reports the target's LoC/accuracy
 // trade-off and proximity-attack results.
 //
+// The train stage can be split out into a serialized model artifact:
+//
+//	splitattack train -design sb1 -config Imp-11 -o sb1.model
+//	splitattack attack -design sb1 -config Imp-11 -model sb1.model
+//
+// The attack run verifies the artifact's spec hash against the spec it
+// would train itself — same designs, configuration, and seed — and its
+// evaluation is bit-identical to the in-process path at any worker count.
+//
 // Observability is opt-in: -v streams structured span logs to stderr
 // (-log-format text|json), -report writes a machine-readable JSON run
 // report, -metrics dumps the metrics registry, and -cpuprofile/-memprofile
@@ -14,80 +23,190 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/attack"
+	"repro/internal/cli"
 	"repro/internal/layout"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/split"
 )
 
 func main() {
-	scale := flag.Float64("scale", 1.0, "suite scale factor")
-	seed := flag.Int64("seed", 1, "generation and attack seed")
-	layer := flag.Int("layer", 8, "split (via) layer: 1..8; the paper studies 4, 6, 8")
-	design := flag.String("design", "sb1", "target design: sb1 sb5 sb10 sb12 sb18")
-	config := flag.String("config", "Imp-11", "attack configuration: ML-9 Imp-9 Imp-7 Imp-11 (+Y suffix at layer 8)")
-	base := flag.String("base", "reptree", "bagging base classifier: reptree or randomtree")
-	pa := flag.Bool("pa", false, "also run the validation-based proximity attack")
-	var cli obs.CLI
-	cli.Register(flag.CommandLine)
-	flag.Parse()
+	args := os.Args[1:]
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "train":
+			runTrain(args[1:])
+			return
+		case "attack":
+			args = args[1:]
+		default:
+			cli.Usage("splitattack: unknown subcommand %q (want train or attack)", args[0])
+		}
+	}
+	runAttack(args)
+}
 
-	if cli.ShowVersion {
-		fmt.Println("splitattack", obs.Version())
-		return
+// session is the shared setup both subcommands perform: parsed flags, the
+// configured attack, and the suite's prepared instances with the target
+// design resolved.
+type session struct {
+	app    *cli.App
+	o      *obs.Context
+	cfg    attack.Config
+	insts  []*attack.Instance
+	target int
+	layer  int
+	design string
+	base   string
+}
+
+// prepare parses the shared target flags (plus any extras registered by
+// addFlags), builds the attack configuration, generates the suite, and
+// prepares the per-design instances.
+func prepare(fsName string, args []string, addFlags func(*flag.FlagSet)) *session {
+	fs := flag.NewFlagSet(fsName, flag.ExitOnError)
+	app := cli.New("splitattack", fs)
+	layer := fs.Int("layer", 8, "split (via) layer: 1..8; the paper studies 4, 6, 8")
+	design := fs.String("design", "sb1", "target design: sb1 sb5 sb10 sb12 sb18")
+	config := fs.String("config", "Imp-11", "attack configuration: ML-9 Imp-9 Imp-7 Imp-11 (+Y suffix at layer 8)")
+	base := fs.String("base", "reptree", "bagging base classifier: reptree or randomtree")
+	if addFlags != nil {
+		addFlags(fs)
 	}
-	o, err := cli.Setup("splitattack")
-	if err != nil {
-		fatal(err)
-	}
+	o := app.Parse(args)
 
 	cfg, ok := configByName(*config)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
-		os.Exit(2)
+		cli.Usage("unknown config %q", *config)
 	}
 	if *base == "randomtree" {
 		cfg = attack.WithBase(cfg, ml.RandomTree, 0)
 	}
-	cfg.Seed = *seed
-	cfg.Workers = cli.Workers
+	cfg.Seed = app.Seed
+	cfg.Workers = app.Workers()
 	cfg.Obs = o
 
-	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Scale: *scale, Seed: *seed, Workers: cli.Workers})
+	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{
+		Scale: app.Scale, Seed: app.Seed, Workers: app.Workers()})
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
 	target := -1
 	chs := make([]*split.Challenge, len(designs))
 	for i, d := range designs {
 		if chs[i], err = split.NewChallengeObs(o, d, *layer); err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		if d.Name == *design {
 			target = i
 		}
 	}
 	if target < 0 {
-		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
-		os.Exit(2)
+		cli.Usage("unknown design %q", *design)
+	}
+	// Instances (extractors + spatial indexes) are prepared once and shared
+	// by the attack and proximity stages.
+	insts := attack.NewInstancesWorkers(chs, app.Workers())
+	return &session{app: app, o: o, cfg: cfg, insts: insts, target: target,
+		layer: *layer, design: *design, base: *base}
+}
+
+// runTrain executes the train stage alone: it builds the leave-one-out spec
+// for the held-out design, trains the artifact, and serializes it.
+func runTrain(args []string) {
+	var out *string
+	s := prepare("splitattack train", args, func(fs *flag.FlagSet) {
+		out = fs.String("o", "", "artifact output path (default <config>-<design>-L<layer>.model)")
+	})
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("%s-%s-L%d.model", s.cfg.Name, s.design, s.layer)
 	}
 
-	// Single-target entry point: only the held-out design's model is
-	// trained, instead of the full leave-one-out sweep over all designs.
-	// Instances (extractors + spatial indexes) are prepared once and shared
-	// with the proximity attack below.
-	insts := attack.NewInstancesWorkers(chs, cli.Workers)
-	ev, radiusNorm, err := attack.RunTargetInstances(cfg, insts, target)
+	spec, _, err := attack.TrainSpec(s.cfg, s.insts, s.target)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(err)
 	}
-	fmt.Printf("%s at split layer %d, config %s: %d v-pins\n", *design, *layer, cfg.Name, ev.N)
+	t0 := time.Now()
+	art, stats, err := model.Train(spec)
+	if err != nil {
+		cli.Fatal(err)
+	}
+	dur := time.Since(t0)
+	if err := art.WriteFile(path); err != nil {
+		cli.Fatal(err)
+	}
+
+	fmt.Printf("trained %s for held-out %s at split layer %d in %v\n",
+		s.cfg.Name, s.design, s.layer, dur.Round(time.Millisecond))
+	fmt.Printf("  spec     %s\n", art.Meta.SpecHash)
+	fmt.Printf("  level-1  %d trees on %d samples\n", art.Meta.Trees, art.Meta.Samples)
+	if art.Meta.Level == 2 {
+		fmt.Printf("  level-2  %d trees on %d samples\n", art.Meta.Level2Trees, art.Meta.Level2Samples)
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	configMap := map[string]any{
+		"design": s.design, "layer": s.layer, "config": s.cfg.Name, "base": s.base,
+	}
+	summary := map[string]any{
+		"spec_hash":      art.Meta.SpecHash,
+		"artifact":       path,
+		"samples":        art.Meta.Samples,
+		"trees":          art.Meta.Trees,
+		"level2_samples": art.Meta.Level2Samples,
+		"train_ns":       int64(dur),
+		"phases": map[string]any{
+			"sampling_ns": int64(stats.Sampling),
+			"level1_ns":   int64(stats.Level1),
+			"level2_ns":   int64(stats.Level2),
+		},
+	}
+	s.app.Finish(s.o, configMap, summary)
+}
+
+// runAttack executes the attack (the default subcommand): in-process
+// training unless -model supplies a pre-trained artifact to score with.
+func runAttack(args []string) {
+	var pa *bool
+	var modelPath *string
+	s := prepare("splitattack attack", args, func(fs *flag.FlagSet) {
+		pa = fs.Bool("pa", false, "also run the validation-based proximity attack")
+		modelPath = fs.String("model", "",
+			"score with this pre-trained artifact (from 'splitattack train') instead of training in-process")
+	})
+	cfg, o := s.cfg, s.o
+
+	var ev *attack.Evaluation
+	var radiusNorm float64
+	var err error
+	if *modelPath != "" {
+		art, lerr := model.LoadFile(*modelPath)
+		if lerr != nil {
+			cli.Fatal(lerr)
+		}
+		ev, radiusNorm, err = attack.RunTargetArtifact(cfg, s.insts, s.target, art)
+		if err == nil {
+			fmt.Printf("scoring with artifact %s (spec %.12s, trained by %s)\n",
+				*modelPath, art.Meta.SpecHash, art.Meta.Version)
+		}
+	} else {
+		// Single-target entry point: only the held-out design's model is
+		// trained, instead of the full leave-one-out sweep over all designs.
+		ev, radiusNorm, err = attack.RunTargetInstances(cfg, s.insts, s.target)
+	}
+	if err != nil {
+		cli.Fatal(err)
+	}
+	fmt.Printf("%s at split layer %d, config %s: %d v-pins\n", s.design, s.layer, cfg.Name, ev.N)
 	fmt.Printf("train %v, test %v\n\n", ev.TrainDur.Round(1e6), ev.TestDur.Round(1e6))
-	if cli.Verbose {
+	if s.app.Obs.Verbose {
 		ph := ev.Phases
 		fmt.Printf("phases: sampling %v, level-1 %v, level-2 %v, scoring %v (%d pairs)\n\n",
 			ph.Sampling.Round(1e6), ph.Level1.Round(1e6), ph.Level2.Round(1e6),
@@ -132,9 +251,9 @@ func main() {
 
 	if *pa {
 		fmt.Println("\nProximity attack (validation-based PA-LoC fraction):")
-		out, err := attack.ProximityTargetInstances(cfg, insts, target, ev, radiusNorm)
+		out, err := attack.ProximityTargetInstances(cfg, s.insts, s.target, ev, radiusNorm)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(err)
 		}
 		fmt.Printf("success %.2f%% (fixed-threshold: %.2f%%), PA-LoC fraction %.4f, validation %v\n",
 			out.Success*100, out.FixedSuccess*100, out.BestFrac, out.ValidationDur.Round(time.Millisecond))
@@ -154,18 +273,16 @@ func main() {
 		}
 	}
 	configMap := map[string]any{
-		"design":  *design,
-		"layer":   *layer,
-		"config":  cfg.Name,
-		"scale":   *scale,
-		"seed":    *seed,
-		"base":    *base,
-		"trees":   trees,
-		"workers": cli.Workers,
+		"design": s.design,
+		"layer":  s.layer,
+		"config": cfg.Name,
+		"base":   s.base,
+		"trees":  trees,
 	}
-	if err := cli.Finish(o, configMap, summary); err != nil {
-		fatal(err)
+	if *modelPath != "" {
+		configMap["model"] = *modelPath
 	}
+	s.app.Finish(o, configMap, summary)
 }
 
 func configByName(name string) (attack.Config, bool) {
@@ -176,9 +293,4 @@ func configByName(name string) (attack.Config, bool) {
 		}
 	}
 	return attack.Config{}, false
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
 }

@@ -1,0 +1,67 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// TrainSpec returns the model spec the leave-one-out run for the held-out
+// design at index target would train, plus the neighborhood radius it
+// derives from the training designs. `splitattack train` feeds the spec to
+// model.Train and ships the artifact; a later RunTargetArtifact with the
+// same configuration, instances, and seed accepts it.
+func TrainSpec(cfg Config, insts []*Instance, target int) (model.Spec, float64, error) {
+	_, spec, radiusNorm, err := targetSpec(cfg, insts, target)
+	return spec, radiusNorm, err
+}
+
+// targetSpec validates the run request and builds the target's training
+// spec alongside the defaults-applied configuration.
+func targetSpec(cfg Config, insts []*Instance, target int) (Config, model.Spec, float64, error) {
+	cfg, err := prepareRun(cfg, insts)
+	if err != nil {
+		return cfg, model.Spec{}, 0, err
+	}
+	if target < 0 || target >= len(insts) {
+		return cfg, model.Spec{}, 0, fmt.Errorf("attack: target %d out of range 0..%d", target, len(insts)-1)
+	}
+	trainInsts := others(insts, target)
+	radiusNorm := -1.0
+	if cfg.Neighborhood {
+		radiusNorm = NeighborRadiusNorm(trainInsts, cfg.NeighborQuantile)
+	}
+	return cfg, cfg.trainSpec(trainInsts, target, radiusNorm, nil), radiusNorm, nil
+}
+
+// RunTargetArtifact scores the held-out design at index target with a
+// pre-trained artifact instead of training in-process. The artifact's spec
+// hash must match the spec this run would train — same designs,
+// configuration, seed, and fold — which pins the result to be bit-identical
+// to RunTargetInstances' evaluation (training durations aside, since no
+// training happens here).
+func RunTargetArtifact(cfg Config, insts []*Instance, target int, art *model.Artifact) (*Evaluation, float64, error) {
+	cfg, spec, radiusNorm, err := targetSpec(cfg, insts, target)
+	if err != nil {
+		return nil, 0, err
+	}
+	if h := spec.Hash(); h != art.Meta.SpecHash {
+		return nil, 0, fmt.Errorf("attack: artifact %.12s (config %s, seed %d) does not match this run's spec %.12s (config %s, target %s, seed %d): train and attack must agree on designs, configuration, and seed",
+			art.Meta.SpecHash, art.Meta.Config, art.Meta.Seed,
+			h, cfg.Name, insts[target].Ch.Design.Name, cfg.Seed)
+	}
+	o := cfg.Obs
+	sp := o.Begin("target", obs.F("design", insts[target].Ch.Design.Name),
+		obs.F("artifact", art.Meta.SpecHash))
+	scsp := sp.Begin("scoring")
+	ev := scoreTarget(art.Scorer(), insts[target], cfg, radiusNorm)
+	scsp.SetAttr("pairs", ev.PairsScored)
+	scsp.End()
+	sp.SetAttr("test_ns", int64(ev.TestDur))
+	sp.SetAttr("vpins", ev.N)
+	sp.End()
+	o.Metrics().Counter("attack.targets").Inc()
+	o.Metrics().Counter("attack.pairs.scored").Add(ev.PairsScored)
+	return ev, radiusNorm, nil
+}

@@ -1,0 +1,118 @@
+package attack
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestArtifactScoringBitIdentity is the tentpole acceptance check: a model
+// trained by the train stage, serialized, and reloaded from its binary form
+// produces a bit-identical evaluation to the in-process path — at a
+// different worker count, too.
+func TestArtifactScoringBitIdentity(t *testing.T) {
+	chs := challenges(t, 8)
+	for _, mk := range []func() Config{Imp11, func() Config { return WithTwoLevel(Imp11()) }} {
+		cfg := mk()
+		cfg.Seed = 42
+		cfg.Workers = 1
+		insts := NewInstances(chs)
+
+		ev, radius, err := RunTargetInstances(cfg, insts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		spec, specRadius, err := TrainSpec(cfg, insts, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if specRadius != radius {
+			t.Fatalf("%s: TrainSpec radius %v, run radius %v", cfg.Name, specRadius, radius)
+		}
+		art, _, err := model.Train(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := art.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := model.UnmarshalArtifact(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		c2 := cfg
+		c2.Workers = runtime.GOMAXPROCS(0)
+		ev2, radius2, err := RunTargetArtifact(c2, insts, 0, back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if radius2 != radius {
+			t.Fatalf("%s: artifact run radius %v, want %v", cfg.Name, radius2, radius)
+		}
+		sameEval(t, cfg.Name+": artifact vs in-process", ev, ev2)
+	}
+}
+
+// TestRunWithStoreBitIdentity: wiring a Store into a run changes nothing
+// about its results — cold (every fold trains) or warm (every fold hits).
+func TestRunWithStoreBitIdentity(t *testing.T) {
+	chs := challenges(t, 8)
+	cfg := Imp9()
+	cfg.Seed = 42
+	base, err := Run(cfg, chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cached := cfg
+	cached.Models = model.NewStore(0, "")
+	cold, err := Run(cached, chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "store cold vs no store", base, cold)
+
+	warm, err := Run(cached, chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "store warm vs no store", base, warm)
+	if got, want := cached.Models.Len(), len(chs); got != want {
+		t.Fatalf("store holds %d artifacts, want one per fold (%d)", got, want)
+	}
+}
+
+// TestArtifactSpecMismatchRejected: an artifact trained for one fold (or
+// seed) must be refused by a run whose spec differs, instead of silently
+// producing wrong-model scores.
+func TestArtifactSpecMismatchRejected(t *testing.T) {
+	chs := challenges(t, 8)
+	cfg := Imp11()
+	cfg.Seed = 42
+	insts := NewInstances(chs)
+	spec, _, err := TrainSpec(cfg, insts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, _, err := model.Train(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := RunTargetArtifact(cfg, insts, 1, art); err == nil {
+		t.Fatal("artifact for fold 0 accepted by fold 1")
+	} else if !strings.Contains(err.Error(), "does not match") {
+		t.Fatalf("mismatch error %q does not explain itself", err)
+	}
+
+	wrongSeed := cfg
+	wrongSeed.Seed = 43
+	if _, _, err := RunTargetArtifact(wrongSeed, insts, 0, art); err == nil {
+		t.Fatal("artifact for seed 42 accepted by a seed-43 run")
+	}
+}

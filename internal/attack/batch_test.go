@@ -11,8 +11,8 @@ import (
 	"testing"
 
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/pairs"
-	"repro/internal/rng"
 )
 
 // TestBatchScoringMatchesScalar is the tentpole equivalence guarantee:
@@ -159,19 +159,12 @@ func TestBatchGatherScoreAllocFree(t *testing.T) {
 		cfg.Seed = 3
 		train := others(insts, 0)
 		radius := NeighborRadiusNorm(train, cfg.NeighborQuantile)
-		ds := TrainingSet(cfg, train, radius, nil, rng.Derive(cfg.Seed, unitSampling, 0))
-		model, err := trainModelUnit(cfg, ds, unitLevel1, 0)
+		art, _, err := model.Train(cfg.trainSpec(train, 0, radius, nil))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if cfg.TwoLevel {
-			l2, err := trainLevel2(cfg, train, model, radius, 0)
-			if err != nil {
-				t.Fatal(err)
-			}
-			model = &pairs.TwoLevel{L1: model, L2: l2}
-		}
-		backend := pairs.ResolveBackend(model, false)
+		sc := art.Scorer()
+		backend := pairs.ResolveBackend(sc, false)
 		if !pairs.Batched(backend) {
 			t.Fatalf("%s: trained model is not batchable", cfg.Name)
 		}

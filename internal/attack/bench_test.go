@@ -1,11 +1,11 @@
 package attack
 
 // Benchmarks for the candidate pair-scoring hot path: the scalar oracle
-// (per-pair Scorer.Prob on the trained Bagging, the pre-arena code path
-// selected by Config.ScalarScoring) against the batched flat-arena path
-// (gather into per-worker buffers, one ml.Ensemble.ProbBatch call per
-// v-pin and model level). Both paths produce bit-identical Evaluations —
-// batch_test.go proves it — so these benchmarks compare pure throughput.
+// (per-pair Scorer.Prob calls on the compiled arena, selected by
+// Config.ScalarScoring) against the batched flat-arena path (gather into
+// per-worker buffers, one ml.Ensemble.ProbBatch call per v-pin and model
+// level). Both paths produce bit-identical Evaluations — batch_test.go
+// proves it — so these benchmarks compare pure throughput.
 //
 // The pairs/s metric is the one to read: ns/op varies with the fixture's
 // candidate counts, pairs/s does not.
@@ -13,13 +13,12 @@ package attack
 import (
 	"testing"
 
-	"repro/internal/pairs"
-	"repro/internal/rng"
+	"repro/internal/model"
 )
 
 // benchAttackModel trains cfg's model for target 0 of the fixture at the
 // layer, exactly as runTarget would: same derived streams, same optional
-// level-2 stage, same compile-vs-scalar decision.
+// level-2 stage, same compiled arenas.
 func benchAttackModel(b *testing.B, cfg Config, layer int) (Scorer, *Instance, float64) {
 	b.Helper()
 	insts := NewInstances(challenges(b, layer))
@@ -28,19 +27,11 @@ func benchAttackModel(b *testing.B, cfg Config, layer int) (Scorer, *Instance, f
 	if cfg.Neighborhood {
 		radius = NeighborRadiusNorm(train, cfg.NeighborQuantile)
 	}
-	ds := TrainingSet(cfg, train, radius, nil, rng.Derive(cfg.Seed, unitSampling, 0))
-	model, err := trainModelUnit(cfg, ds, unitLevel1, 0)
+	art, _, err := model.Train(cfg.trainSpec(train, 0, radius, nil))
 	if err != nil {
 		b.Fatal(err)
 	}
-	if cfg.TwoLevel {
-		l2, err := trainLevel2(cfg, train, model, radius, 0)
-		if err != nil {
-			b.Fatal(err)
-		}
-		model = &pairs.TwoLevel{L1: model, L2: l2}
-	}
-	return model, insts[0], radius
+	return art.Scorer(), insts[0], radius
 }
 
 func benchScoreTarget(b *testing.B, cfg Config, scalar bool) {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/features"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/pairs"
 )
@@ -83,6 +84,11 @@ type Config struct {
 	// metrics from every stage of the run. A nil Obs disables all
 	// instrumentation at no cost.
 	Obs *obs.Context
+	// Models, when non-nil, caches trained artifacts by spec content hash:
+	// repeated folds (threshold sweeps, config variants sharing a level-1
+	// model) become cache hits instead of retrainings. A nil store trains
+	// every target fresh. Results are bit-identical either way.
+	Models *model.Store
 }
 
 // Scorer is the classifier interface the attack engine consumes: a
@@ -106,23 +112,50 @@ var _ BatchScorer = (*ml.Ensemble)(nil)
 // be invoked concurrently for different targets, each with its own rng.
 type Learner func(ds *ml.Dataset, cfg Config, rng *rand.Rand) (Scorer, error)
 
-func (c Config) withDefaults() Config {
-	if c.NeighborQuantile <= 0 || c.NeighborQuantile > 1 {
-		c.NeighborQuantile = 0.90
+// TrainOptions projects the configuration's training-relevant fields into
+// the model package's option struct — the one place training options live.
+// A custom Learner is adapted to the model package's signature with the
+// configuration captured in the closure.
+func (c Config) TrainOptions() model.TrainOptions {
+	to := model.TrainOptions{
+		Name:             c.Name,
+		Features:         c.Features,
+		Neighborhood:     c.Neighborhood,
+		NeighborQuantile: c.NeighborQuantile,
+		LimitDiffVpinY:   c.LimitDiffVpinY,
+		TwoLevel:         c.TwoLevel,
+		BaseKind:         c.BaseKind,
+		NumTrees:         c.NumTrees,
+		MaxLoCFrac:       c.MaxLoCFrac,
+		TrainCap:         c.TrainCap,
+		ScalarScoring:    c.ScalarScoring,
 	}
-	if c.NumTrees <= 0 {
-		if c.BaseKind == ml.RandomTree {
-			c.NumTrees = ml.DefaultForestSize
-		} else {
-			c.NumTrees = ml.DefaultBaggingSize
+	if c.Learner != nil {
+		cc := c
+		to.Learner = func(ds *ml.Dataset, rng *rand.Rand) (pairs.Scorer, error) {
+			return cc.Learner(ds, cc, rng)
 		}
 	}
-	if c.MaxLoCFrac <= 0 || c.MaxLoCFrac > 1 {
-		c.MaxLoCFrac = 0.15
-	}
-	if len(c.Features) == 0 {
-		c.Features = features.Set9()
-	}
+	return to
+}
+
+// trainSpec builds the model spec for training on trainInsts with this
+// configuration's options, seeded for the given held-out fold. span, when
+// non-nil, is the parent the training stage's progress spans nest under.
+func (c Config) trainSpec(trainInsts []*Instance, target int, radiusNorm float64, span *obs.Span) model.Spec {
+	spec := model.NewSpec(c.TrainOptions(), c.Seed, target, trainInsts, radiusNorm)
+	spec.Workers = c.Workers
+	spec.Obs = c.Obs
+	spec.Span = span
+	return spec
+}
+
+func (c Config) withDefaults() Config {
+	to := c.TrainOptions().WithDefaults()
+	c.NeighborQuantile = to.NeighborQuantile
+	c.NumTrees = to.NumTrees
+	c.MaxLoCFrac = to.MaxLoCFrac
+	c.Features = to.Features
 	return c
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/rng"
 )
 
@@ -175,7 +176,7 @@ func TestRunCollectsPartialErrors(t *testing.T) {
 	cfg.Workers = 2
 
 	const failTarget = 1
-	failDraw := rng.Derive(cfg.Seed, unitLevel1, failTarget).Int63()
+	failDraw := rng.Derive(cfg.Seed, model.UnitLevel1, failTarget).Int63()
 	cfg.Learner = func(ds *ml.Dataset, c Config, r *rand.Rand) (Scorer, error) {
 		if r.Int63() == failDraw {
 			return nil, fmt.Errorf("injected failure")

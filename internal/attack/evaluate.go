@@ -1,7 +1,6 @@
 package attack
 
 import (
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,28 +8,16 @@ import (
 	"repro/internal/pairs"
 )
 
-// Candidate is one scored entry of a v-pin's candidate list.
-type Candidate struct {
-	// Other is the candidate partner v-pin.
-	Other int32
-	// P is the ensemble probability p(v, v') of eq. (3).
-	P float32
-	// D is the ManhattanVpin distance, used by the proximity attack.
-	D float32
-}
+// Candidate is one scored entry of a v-pin's candidate list; it is the
+// pairs package's Candidate — the candidate-list machinery (ordering,
+// bounded retention, LoC cap) lives there so the attack engine and the
+// model package's two-level stage share one implementation.
+type Candidate = pairs.Candidate
 
-// compareCandidates is the candidate-list order: descending probability,
-// ties broken by ascending partner index. Other is unique within a list,
-// so this is a total order and every sorting algorithm — and both scoring
-// backends — produce exactly the same list.
+// compareCandidates is the canonical candidate-list order; see
+// pairs.CompareCandidates.
 func compareCandidates(x, y Candidate) int {
-	if x.P != y.P {
-		if x.P > y.P {
-			return -1
-		}
-		return 1
-	}
-	return int(x.Other) - int(y.Other)
+	return pairs.CompareCandidates(x, y)
 }
 
 // Evaluation holds the scored candidate lists of one (config, design,
@@ -85,55 +72,6 @@ type Phases struct {
 	Scoring time.Duration `json:"scoring_ns"`
 }
 
-// candHeap is a bounded min-heap on P, keeping the top-cap candidates.
-type candHeap struct {
-	c   []Candidate
-	cap int
-}
-
-func (h *candHeap) push(cand Candidate) {
-	if len(h.c) < h.cap {
-		h.c = append(h.c, cand)
-		h.up(len(h.c) - 1)
-		return
-	}
-	if cand.P <= h.c[0].P {
-		return
-	}
-	h.c[0] = cand
-	h.down(0)
-}
-
-func (h *candHeap) up(i int) {
-	for i > 0 {
-		p := (i - 1) / 2
-		if h.c[p].P <= h.c[i].P {
-			break
-		}
-		h.c[p], h.c[i] = h.c[i], h.c[p]
-		i = p
-	}
-}
-
-func (h *candHeap) down(i int) {
-	n := len(h.c)
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && h.c[l].P < h.c[small].P {
-			small = l
-		}
-		if r < n && h.c[r].P < h.c[small].P {
-			small = r
-		}
-		if small == i {
-			return
-		}
-		h.c[i], h.c[small] = h.c[small], h.c[i]
-		i = small
-	}
-}
-
 // scoreTarget evaluates all admitted candidate pairs of the target instance
 // with the model and assembles the Evaluation. Work is parallelised across
 // v-pins.
@@ -156,13 +94,7 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 	start := time.Now()
 	n := inst.N()
 	filter := newPairFilter(inst, cfg, radiusNorm)
-	capPer := int(cfg.MaxLoCFrac * float64(n))
-	if capPer < 32 {
-		capPer = 32
-	}
-	if capPer > n {
-		capPer = n
-	}
+	capPer := pairs.LoCCap(n, cfg.MaxLoCFrac)
 
 	targets := subset
 	if targets == nil {
@@ -226,7 +158,7 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 					return
 				}
 				for _, a := range targets[lo:hi] {
-					h := candHeap{cap: capPer}
+					h := pairs.TopK{Cap: capPer}
 					m := inst.Match(a)
 					g.Gather(filter, a)
 					g.Score(backend)
@@ -236,10 +168,9 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 						if int(b32) == m {
 							ev.TruthP[a] = p
 						}
-						h.push(Candidate{Other: b32, P: p, D: g.D[k]})
+						h.Push(Candidate{Other: b32, P: p, D: g.D[k]})
 					}
-					slices.SortFunc(h.c, compareCandidates)
-					ev.Cands[a] = h.c
+					ev.Cands[a] = h.Sorted()
 				}
 			}
 		}()

@@ -8,7 +8,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/features"
 	"repro/internal/ml"
 	"repro/internal/obs"
 	"repro/internal/pairs"
@@ -19,16 +18,15 @@ import (
 // Stream units name the independent random streams a target consumes.
 // Every stream is derived as rng.Derive(cfg.Seed, unit, target, index...),
 // so a unit's draws depend only on the seed and its coordinates — never on
-// what other units consumed or on which worker ran them. Renumbering these
-// constants changes every downstream result; treat them like the golden
-// values in internal/rng.
+// what other units consumed or on which worker ran them. The training
+// units 1–4 moved to the model package with the train stage
+// (model.UnitSampling .. model.UnitLevel2Model); the proximity-attack
+// units stay here with their explicit historical values. Renumbering any
+// unit changes every downstream result; treat them like the golden values
+// in internal/rng.
 const (
-	unitSampling    int64 = iota + 1 // training-set sampling for one target
-	unitLevel1                       // level-1 ensemble training (per tree)
-	unitLevel2Neg                    // level-2 negative draws (per instance)
-	unitLevel2Model                  // level-2 ensemble training (per tree)
-	unitPA                           // proximity-attack validation split
-	unitPAModel                      // proximity-attack model training (per tree)
+	unitPA      int64 = 5 // proximity-attack validation split
+	unitPAModel int64 = 6 // proximity-attack model training (per tree)
 )
 
 // Result is the outcome of one leave-one-out attack run: one Evaluation per
@@ -224,32 +222,26 @@ func others(insts []*Instance, target int) []*Instance {
 // by default, or a custom Learner when one is set — consuming the single
 // shared rng sequentially. It is the legacy sequential path kept for
 // ScoreWithTrainingSet, whose callers own their rng; the engine itself
-// trains through trainModelUnit.
+// trains through the model package (see model.Train).
 func trainModel(cfg Config, ds *ml.Dataset, r *rand.Rand) (Scorer, error) {
 	if cfg.Learner != nil {
 		return cfg.Learner(ds, cfg, r)
 	}
-	b, err := ml.TrainBaggingObs(cfg.Obs, ds, cfg.NumTrees, baseTreeOptions(cfg), r)
+	b, err := ml.TrainBaggingObs(cfg.Obs, ds, cfg.NumTrees, cfg.TrainOptions().TreeOptions(), r)
 	if err != nil {
 		return nil, err
 	}
-	return compiled(cfg, b), nil
-}
-
-// compiled returns the inference form the engine scores with: the packed
-// arena Ensemble for the batched fast path, or the Bagging itself under
-// ScalarScoring (the per-pair oracle path).
-func compiled(cfg Config, b *ml.Bagging) Scorer {
-	if cfg.ScalarScoring {
-		return b
-	}
-	return b.Compile()
+	return b.Compile(), nil
 }
 
 // trainModelUnit trains the configuration's classifier from streams derived
 // from (cfg.Seed, unit, target): a custom Learner receives the stream
 // (cfg.Seed, unit, target) whole, while the default Bagging ensemble trains
-// in parallel with tree t on stream (cfg.Seed, unit, target, t).
+// in parallel with tree t on stream (cfg.Seed, unit, target, t) and is
+// compiled into its flat-arena form (bit-identical Prob — the documented
+// Ensemble contract). The leave-one-out train stage lives in the model
+// package; this helper remains for the proximity attack's validation-split
+// models, which are trained on PA stream units.
 func trainModelUnit(cfg Config, ds *ml.Dataset, unit int64, target int) (Scorer, error) {
 	if cfg.Learner != nil {
 		return cfg.Learner(ds, cfg, rng.Derive(cfg.Seed, unit, int64(target)))
@@ -257,27 +249,22 @@ func trainModelUnit(cfg Config, ds *ml.Dataset, unit int64, target int) (Scorer,
 	streams := func(tree int) *rand.Rand {
 		return rng.Derive(cfg.Seed, unit, int64(target), int64(tree))
 	}
-	b, err := ml.TrainBaggingStreams(cfg.Obs, ds, cfg.NumTrees, baseTreeOptions(cfg),
+	b, err := ml.TrainBaggingStreams(cfg.Obs, ds, cfg.NumTrees, cfg.TrainOptions().TreeOptions(),
 		streams, cfg.workerCount(cfg.NumTrees))
 	if err != nil {
 		return nil, err
 	}
-	return compiled(cfg, b), nil
-}
-
-func baseTreeOptions(cfg Config) ml.TreeOptions {
-	opts := ml.TreeOptions{Kind: cfg.BaseKind, Features: cfg.Features}
-	if cfg.BaseKind == ml.RandomTree {
-		opts.MinLeaf = 1 // Weka RandomTree default
-	}
-	return opts
+	return b.Compile(), nil
 }
 
 // runTarget trains on all instances except target and scores target. All
 // randomness is drawn from streams derived from (cfg.Seed, unit, target),
 // so the result does not depend on which worker runs it or on sibling
-// targets. The span for the target nests under parent when one is given
-// (Run's root span), else at the context's root (RunTarget).
+// targets. Training goes through the model layer: cfg.Models, when set,
+// serves repeated folds from its artifact cache (bit-identical to fresh
+// training); a nil store trains inline. The span for the target nests
+// under parent when one is given (Run's root span), else at the context's
+// root (RunTarget).
 func runTarget(cfg Config, insts []*Instance, target, worker int, parent *obs.Span) (*Evaluation, float64, error) {
 	o := cfg.Obs
 	sp := o.BeginUnder(parent, "target",
@@ -290,37 +277,16 @@ func runTarget(cfg Config, insts []*Instance, target, worker int, parent *obs.Sp
 	}
 
 	t0 := time.Now()
-	ssp := sp.Begin("sampling")
-	ds := TrainingSet(cfg, trainInsts, radiusNorm, nil, rng.Derive(cfg.Seed, unitSampling, int64(target)))
-	tSample := time.Now()
-	ssp.SetAttr("samples", ds.Len())
-	ssp.End()
-
-	l1sp := sp.Begin("train-level1", obs.F("samples", ds.Len()), obs.F("trees", cfg.NumTrees))
-	model, err := trainModelUnit(cfg, ds, unitLevel1, target)
-	tLevel1 := time.Now()
-	l1sp.End()
+	spec := cfg.trainSpec(trainInsts, target, radiusNorm, sp)
+	art, stats, err := cfg.Models.GetOrTrain(spec)
 	if err != nil {
 		sp.End()
 		return nil, 0, fmt.Errorf("attack: %s: target %s: %w", cfg.Name, insts[target].Ch.Design.Name, err)
 	}
-	var sc Scorer = model
-	tLevel2 := tLevel1
-	if cfg.TwoLevel {
-		l2sp := sp.Begin("train-level2")
-		level2, err := trainLevel2(cfg, trainInsts, model, radiusNorm, target)
-		tLevel2 = time.Now()
-		l2sp.End()
-		if err != nil {
-			sp.End()
-			return nil, 0, fmt.Errorf("attack: %s: target %s: %w", cfg.Name, insts[target].Ch.Design.Name, err)
-		}
-		sc = &pairs.TwoLevel{L1: model, L2: level2}
-	}
 	trainDur := time.Since(t0)
 
 	scsp := sp.Begin("scoring")
-	ev := scoreTarget(sc, insts[target], cfg, radiusNorm)
+	ev := scoreTarget(art.Scorer(), insts[target], cfg, radiusNorm)
 	scsp.SetAttr("pairs", ev.PairsScored)
 	if ev.Batches > 0 {
 		scsp.SetAttr("batches", ev.Batches)
@@ -328,9 +294,9 @@ func runTarget(cfg Config, insts []*Instance, target, worker int, parent *obs.Sp
 	}
 	scsp.End()
 	ev.TrainDur = trainDur
-	ev.Phases.Sampling = tSample.Sub(t0)
-	ev.Phases.Level1 = tLevel1.Sub(tSample)
-	ev.Phases.Level2 = tLevel2.Sub(tLevel1)
+	ev.Phases.Sampling = stats.Sampling
+	ev.Phases.Level1 = stats.Level1
+	ev.Phases.Level2 = stats.Level2
 	sp.SetAttr("train_ns", int64(ev.TrainDur))
 	sp.SetAttr("test_ns", int64(ev.TestDur))
 	sp.SetAttr("vpins", ev.N)
@@ -355,105 +321,4 @@ func ScoreWithTrainingSet(cfg Config, ds *ml.Dataset, target *Instance, radiusNo
 		return nil, err
 	}
 	return scoreTarget(model, target, cfg, radiusNorm), nil
-}
-
-// level2Sample is one two-level-pruning training row: a feature vector and
-// its class.
-type level2Sample struct {
-	row []float64
-	pos bool
-}
-
-// level2Samples scores one training design with the level-1 model and
-// collects its two-level training rows: every admitted true pair as a
-// positive, plus per v-pin one "high-quality" negative sampled uniformly
-// from the v-pin's level-1 LoC (candidates the level-1 model scored at or
-// above 0.5, excluding the truth). The negative draws consume the stream
-// (cfg.Seed, unitLevel2Neg, target, instIdx) in v-pin order, so the
-// samples are independent of how sibling designs are scheduled.
-func level2Samples(cfg Config, inst *Instance, l1 Scorer, radiusNorm float64, target, instIdx int) []level2Sample {
-	filter := newPairFilter(inst, cfg, radiusNorm)
-	ev := scoreTarget(l1, inst, cfg, radiusNorm)
-	negRng := rng.Derive(cfg.Seed, unitLevel2Neg, int64(target), int64(instIdx))
-	var out []level2Sample
-	for a := 0; a < inst.N(); a++ {
-		m := inst.Match(a)
-		if m >= 0 && filter.Admits(a, m) {
-			row := make([]float64, features.NumFeatures)
-			inst.Ex.Pair(a, m, row)
-			out = append(out, level2Sample{row: row, pos: true})
-		}
-		// Collect the level-1 LoC of a (p >= 0.5, excluding the truth)
-		// and sample one high-quality negative from it.
-		cands := ev.Cands[a]
-		loc := cands[:0:0]
-		for _, c := range cands {
-			if c.P < 0.5 {
-				break // sorted descending
-			}
-			if int(c.Other) != m {
-				loc = append(loc, c)
-			}
-		}
-		if len(loc) == 0 {
-			continue
-		}
-		pick := loc[negRng.Intn(len(loc))]
-		row := make([]float64, features.NumFeatures)
-		inst.Ex.Pair(a, int(pick.Other), row)
-		out = append(out, level2Sample{row: row, pos: false})
-	}
-	return out
-}
-
-// trainLevel2 implements two-level pruning (§III-E): the level-1 model is
-// applied to the training designs themselves; every v-pin's level-1 LoC
-// (threshold 0.5) supplies one "high-quality" negative — a candidate the
-// level-1 model could not reject — and the level-2 model is trained on
-// these negatives plus all positives. The per-design scoring fans out
-// across cfg.Workers goroutines; samples are assembled in design order, so
-// the level-2 training set (and hence the model) is identical at any
-// worker count.
-func trainLevel2(cfg Config, trainInsts []*Instance, l1 Scorer, radiusNorm float64, target int) (Scorer, error) {
-	perInst := make([][]level2Sample, len(trainInsts))
-	// Divide the worker budget between the per-design fan-out here and the
-	// candidate-scoring fan-out inside each level2Samples call: the nested
-	// pools would otherwise multiply to up to Workers² goroutines competing
-	// for Workers cores.
-	total := cfg.workerCount(1 << 30)
-	outer := total
-	if outer > len(trainInsts) {
-		outer = len(trainInsts)
-	}
-	innerCfg := cfg
-	innerCfg.Workers = total / outer
-	if innerCfg.Workers < 1 {
-		innerCfg.Workers = 1
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < outer; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(trainInsts) {
-					return
-				}
-				perInst[i] = level2Samples(innerCfg, trainInsts[i], l1, radiusNorm, target, i)
-			}
-		}()
-	}
-	wg.Wait()
-	ds := &ml.Dataset{}
-	for _, samples := range perInst {
-		for _, s := range samples {
-			ds.Add(s.row, s.pos)
-		}
-	}
-	if ds.Len() == 0 {
-		return nil, fmt.Errorf("attack: two-level pruning produced no training samples")
-	}
-	return trainModelUnit(cfg, ds, unitLevel2Model, target)
 }

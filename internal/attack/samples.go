@@ -3,8 +3,8 @@ package attack
 import (
 	"math/rand"
 
-	"repro/internal/features"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/pairs"
 	"repro/internal/split"
 )
@@ -29,95 +29,16 @@ func NeighborRadiusNorm(insts []*Instance, q float64) float64 {
 // one instance: the neighborhood radius applies only under the Imp
 // improvement, the DiffVpinY limit only under the "Y" refinement.
 func newPairFilter(inst *Instance, cfg Config, radiusNorm float64) pairs.Filter {
-	if !cfg.Neighborhood {
-		radiusNorm = -1
-	}
-	return inst.Filter(radiusNorm, cfg.LimitDiffVpinY)
+	return cfg.TrainOptions().Filter(inst, radiusNorm)
 }
 
 // TrainingSet generates the balanced sample set of §III-B from the given
 // training instances: one positive (true match) per v-pin plus one random
 // admitted negative per v-pin. onlyVpins, when non-nil, restricts sample
 // generation to the listed v-pins of each instance (used by the proximity
-// attack's 80/20 validation split).
+// attack's 80/20 validation split). The sampling stage lives in the model
+// package; this wrapper projects the configuration's training options.
 func TrainingSet(cfg Config, insts []*Instance, radiusNorm float64,
 	onlyVpins [][]int, rng *rand.Rand) *ml.Dataset {
-
-	ds := &ml.Dataset{}
-	for k, inst := range insts {
-		filter := newPairFilter(inst, cfg, radiusNorm)
-		n := inst.N()
-		vpins := onlyVpins0(onlyVpins, k, n)
-		selected := make([]bool, n)
-		for _, a := range vpins {
-			selected[a] = true
-		}
-		for _, a := range vpins {
-			m := inst.Match(a)
-			if m < 0 || !selected[m] || !filter.Admits(a, m) {
-				continue
-			}
-			row := make([]float64, features.NumFeatures)
-			inst.Ex.Pair(a, m, row)
-			ds.Add(row, true)
-
-			// Matched negative: a random admitted non-matching partner.
-			if b, ok := sampleNegative(filter, vpins, selected, a, m, rng); ok {
-				neg := make([]float64, features.NumFeatures)
-				inst.Ex.Pair(a, b, neg)
-				ds.Add(neg, false)
-			}
-		}
-	}
-	if cfg.TrainCap > 0 && ds.Len() > cfg.TrainCap {
-		idx := rng.Perm(ds.Len())[:cfg.TrainCap]
-		ds = ds.Subset(idx)
-	}
-	cfg.Obs.Metrics().Histogram("attack.trainset.size").Observe(float64(ds.Len()))
-	cfg.Obs.Log().Debug("training set sampled", "config", cfg.Name,
-		"designs", len(insts), "samples", ds.Len())
-	return ds
-}
-
-// sampleNegative draws a uniform random admitted non-matching partner for
-// a. It first tries cheap rejection sampling; under tight filters (small
-// neighborhoods, Y-limits) where rejection rarely lands, it falls back to
-// reservoir sampling over the filter's admitted candidate stream.
-func sampleNegative(filter pairs.Filter, vpins []int,
-	selected []bool, a, m int, rng *rand.Rand) (int, bool) {
-
-	const tries = 40
-	for t := 0; t < tries; t++ {
-		b := vpins[rng.Intn(len(vpins))]
-		if b != m && filter.Admits(a, b) {
-			return b, true
-		}
-	}
-	// Reservoir over all admitted candidates of a.
-	chosen, count := -1, 0
-	filter.Enumerate(a, func(b32 int32) {
-		b := int(b32)
-		if b == m || !selected[b] {
-			return
-		}
-		count++
-		if rng.Intn(count) == 0 {
-			chosen = b
-		}
-	})
-	if chosen < 0 {
-		return 0, false
-	}
-	return chosen, true
-}
-
-func onlyVpins0(only [][]int, k, n int) []int {
-	if only != nil {
-		return only[k]
-	}
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
-	}
-	return all
+	return model.TrainingSet(cfg.Obs, cfg.TrainOptions(), insts, radiusNorm, onlyVpins, rng)
 }

@@ -3,6 +3,8 @@ package attack
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/model"
 )
 
 func TestPairFilterRules(t *testing.T) {
@@ -75,7 +77,7 @@ func TestSampleNegativeRespectsFilters(t *testing.T) {
 	for trial := 0; trial < 100; trial++ {
 		a := rng.Intn(inst.N())
 		m := inst.Match(a)
-		b, ok := sampleNegative(filter, vpins, selected, a, m, rng)
+		b, ok := model.SampleNegative(filter, vpins, selected, a, m, rng)
 		if !ok {
 			continue // legitimately no admitted negative for this v-pin
 		}

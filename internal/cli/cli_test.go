@@ -1,0 +1,104 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+// newTestApp builds an App on a ContinueOnError FlagSet so flag errors
+// surface as errors instead of exiting the test binary.
+func newTestApp(t *testing.T, name string) (*App, *flag.FlagSet) {
+	t.Helper()
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return New(name, fs), fs
+}
+
+func TestNewRegistersSharedFlags(t *testing.T) {
+	_, fs := newTestApp(t, "x")
+	for _, name := range []string{
+		"scale", "seed", "workers", "v", "log-format",
+		"report", "metrics", "cpuprofile", "memprofile", "version",
+	} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("flag -%s not registered", name)
+		}
+	}
+}
+
+func TestParsePopulatesFields(t *testing.T) {
+	app, _ := newTestApp(t, "x")
+	o := app.Parse([]string{"-scale", "0.5", "-seed", "7", "-workers", "3"})
+	if o != nil {
+		t.Error("observability context is not nil without obs flags")
+	}
+	if app.Scale != 0.5 || app.Seed != 7 || app.Workers() != 3 {
+		t.Errorf("parsed scale=%v seed=%v workers=%v, want 0.5 7 3",
+			app.Scale, app.Seed, app.Workers())
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	app, _ := newTestApp(t, "x")
+	app.Parse(nil)
+	if app.Scale != 1.0 || app.Seed != 1 || app.Workers() != 0 {
+		t.Errorf("defaults scale=%v seed=%v workers=%v, want 1.0 1 0",
+			app.Scale, app.Seed, app.Workers())
+	}
+}
+
+func TestVersionExitsZero(t *testing.T) {
+	app, _ := newTestApp(t, "x")
+	code := captureExit(t, func() { app.Parse([]string{"-version"}) })
+	if code != 0 {
+		t.Errorf("-version exited %d, want 0", code)
+	}
+}
+
+func TestBadLogFormatIsFatal(t *testing.T) {
+	app, _ := newTestApp(t, "x")
+	code := captureExit(t, func() { app.Parse([]string{"-v", "-log-format", "yaml"}) })
+	if code != 1 {
+		t.Errorf("bad -log-format exited %d, want 1", code)
+	}
+}
+
+func TestFinishStampsSharedConfig(t *testing.T) {
+	app, _ := newTestApp(t, "x")
+	app.Parse([]string{"-scale", "2", "-seed", "9"})
+	config := map[string]any{"seed": int64(42)} // command override wins
+	app.Finish(nil, config, nil)
+	if config["scale"] != 2.0 {
+		t.Errorf("scale = %v, want 2.0", config["scale"])
+	}
+	if config["seed"] != int64(42) {
+		t.Errorf("seed = %v, want the command's own 42", config["seed"])
+	}
+	if config["workers"] != 0 {
+		t.Errorf("workers = %v, want 0", config["workers"])
+	}
+}
+
+// captureExit runs fn with osExit replaced by a panic-based stub and
+// reports the exit code fn requested; it fails the test if fn returns
+// without exiting.
+func captureExit(t *testing.T, fn func()) (code int) {
+	t.Helper()
+	type exitPanic struct{ code int }
+	orig := osExit
+	osExit = func(c int) { panic(exitPanic{c}) }
+	defer func() {
+		osExit = orig
+		if r := recover(); r != nil {
+			if ep, ok := r.(exitPanic); ok {
+				code = ep.code
+				return
+			}
+			panic(r)
+		}
+		t.Fatal("function returned without exiting")
+	}()
+	fn()
+	return 0
+}

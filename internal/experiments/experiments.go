@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/layout"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/priorwork"
 	"repro/internal/split"
@@ -50,6 +51,12 @@ type Suite struct {
 	noisy map[string][]*split.Challenge
 	pa    map[string][]attack.PAOutcome
 	nn    map[int][]float64
+	// models caches trained artifacts per fold by spec content hash, so
+	// sweeps that retrain identical folds (threshold sweeps, two-level
+	// variants sharing a level-1 model) become cache hits; see
+	// model.Store. It rides alongside the instance cache and reports
+	// outcomes under the "model.artifacts" counters.
+	models *model.Store
 }
 
 // NewSuite generates the five benchmark designs at the given scale.
@@ -98,6 +105,7 @@ func NewSuiteFromDesigns(designs []*layout.Design, scale float64, seed int64) *S
 		noisy:   map[string][]*split.Challenge{},
 		pa:      map[string][]attack.PAOutcome{},
 		nn:      map[int][]float64{},
+		models:  model.NewStore(0, ""),
 	}
 }
 
@@ -186,6 +194,9 @@ func (s *Suite) prepare(cfg attack.Config) attack.Config {
 	}
 	if s.Obs != nil {
 		cfg.Obs = s.Obs
+	}
+	if cfg.Models == nil {
+		cfg.Models = s.models
 	}
 	return cfg
 }

@@ -1,0 +1,139 @@
+package ml
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Binary codec for compiled Ensemble arenas. The format is versioned and
+// self-checking so artifacts written by one process can be loaded by a
+// scoring process later (or on another machine) with bit-exact results:
+//
+//	magic   "MLEN"                       4 bytes
+//	version uint16 little-endian         currently 1
+//	trees   uint32                       number of roots
+//	nodes   uint32                       total arena nodes
+//	roots   trees × uint32               arena index of each tree's root
+//	arena   nodes × (float64, int32, int32)
+//	crc     uint32                       IEEE CRC-32 of everything above
+//
+// Node values are encoded as raw IEEE-754 bits, so a decoded ensemble's
+// Prob/ProbBatch results are bit-identical to the encoded one's. Decoding
+// rejects truncation, trailing garbage, unknown versions, checksum
+// mismatches, and structurally invalid arenas (roots out of order, child
+// indexes outside the tree, probabilities outside [0, 1]).
+const (
+	ensembleMagic = "MLEN"
+	// EnsembleCodecVersion is the current on-disk arena format version.
+	EnsembleCodecVersion = 1
+)
+
+const ensembleHeaderLen = 4 + 2 + 4 + 4 // magic, version, trees, nodes
+
+// MarshalBinary encodes the arena in the versioned binary format above.
+func (e *Ensemble) MarshalBinary() ([]byte, error) {
+	if len(e.roots) == 0 {
+		return nil, fmt.Errorf("ml: cannot encode an ensemble with no trees")
+	}
+	buf := make([]byte, 0, ensembleHeaderLen+4*len(e.roots)+16*len(e.nodes)+4)
+	buf = append(buf, ensembleMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, EnsembleCodecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.roots)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.nodes)))
+	for _, r := range e.roots {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r))
+	}
+	for i := range e.nodes {
+		n := &e.nodes[i]
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(n.val))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n.feature))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n.right))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// UnmarshalEnsemble decodes an arena encoded by MarshalBinary, validating
+// the checksum and the structural invariants Compile guarantees. The
+// returned Ensemble is bit-identical to the encoded one.
+func UnmarshalEnsemble(data []byte) (*Ensemble, error) {
+	if len(data) < ensembleHeaderLen+4 {
+		return nil, fmt.Errorf("ml: ensemble blob truncated (%d bytes)", len(data))
+	}
+	if string(data[:4]) != ensembleMagic {
+		return nil, fmt.Errorf("ml: not an ensemble blob (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != EnsembleCodecVersion {
+		return nil, fmt.Errorf("ml: unsupported ensemble codec version %d (have %d)",
+			v, EnsembleCodecVersion)
+	}
+	trees := int(binary.LittleEndian.Uint32(data[6:]))
+	nodes := int(binary.LittleEndian.Uint32(data[10:]))
+	want := ensembleHeaderLen + 4*trees + 16*nodes + 4
+	if trees <= 0 || nodes <= 0 || len(data) != want {
+		return nil, fmt.Errorf("ml: ensemble blob is %d bytes, want %d for %d trees / %d nodes",
+			len(data), want, trees, nodes)
+	}
+	if got, stored := crc32.ChecksumIEEE(data[:len(data)-4]),
+		binary.LittleEndian.Uint32(data[len(data)-4:]); got != stored {
+		return nil, fmt.Errorf("ml: ensemble blob checksum mismatch (corrupted payload)")
+	}
+	e := &Ensemble{
+		roots: make([]int32, trees),
+		nodes: make([]enode, nodes),
+	}
+	off := ensembleHeaderLen
+	for i := range e.roots {
+		e.roots[i] = int32(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+	}
+	for i := range e.nodes {
+		e.nodes[i] = enode{
+			val:     math.Float64frombits(binary.LittleEndian.Uint64(data[off:])),
+			feature: int32(binary.LittleEndian.Uint32(data[off+8:])),
+			right:   int32(binary.LittleEndian.Uint32(data[off+12:])),
+		}
+		off += 16
+	}
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// validate checks the structural invariants Compile establishes: roots
+// start at 0 and strictly increase, internal nodes point right to a later
+// in-range slot (the left child is implicitly the next slot), and leaf
+// probabilities are genuine probabilities. A decoded arena passing these
+// checks cannot make Prob/ProbBatch read out of bounds or loop forever
+// backwards, and the CRC already caught random corruption; this catches
+// deliberate or wildly unlucky structural damage.
+func (e *Ensemble) validate() error {
+	n := int32(len(e.nodes))
+	for i, r := range e.roots {
+		if r < 0 || r >= n {
+			return fmt.Errorf("ml: ensemble root %d out of range", i)
+		}
+		if i == 0 && r != 0 {
+			return fmt.Errorf("ml: ensemble arena does not start at root 0")
+		}
+		if i > 0 && r <= e.roots[i-1] {
+			return fmt.Errorf("ml: ensemble roots not strictly increasing at tree %d", i)
+		}
+	}
+	for i := range e.nodes {
+		nd := &e.nodes[i]
+		if nd.feature < 0 {
+			if nd.val < 0 || nd.val > 1 || math.IsNaN(nd.val) {
+				return fmt.Errorf("ml: ensemble leaf %d has probability %v outside [0, 1]", i, nd.val)
+			}
+			continue
+		}
+		if nd.right <= int32(i)+1 || nd.right >= n {
+			return fmt.Errorf("ml: ensemble node %d right child %d violates DFS preorder", i, nd.right)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+// Package model owns the attack's train stage: it turns a training Spec —
+// the held-out fold's training designs, the attack configuration's training
+// options, and the seed — into an Artifact holding the compiled flat-arena
+// ensembles plus metadata, with a canonical content hash per Spec, a
+// versioned binary codec for artifacts, and a Store that makes repeated
+// folds and sweeps cache hits (in-memory LRU plus an optional on-disk
+// directory). The attack engine consumes Artifacts through the pairs
+// scoring backends; training here is bit-identical to training in-process
+// at any worker count because every random stream is derived from
+// (Seed, unit, Fold, ...) exactly as the engine always did.
+package model
+
+import (
+	"math/rand"
+	"runtime"
+
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/pairs"
+)
+
+// Learner trains a custom Scorer on a pair-sample dataset in place of the
+// default Bagging ensemble. The rng is an independent per-unit stream owned
+// by this call alone. Learner-trained models cannot be hashed or
+// serialized, so Specs carrying one bypass the Store and the codec.
+type Learner func(ds *ml.Dataset, rng *rand.Rand) (pairs.Scorer, error)
+
+// TrainOptions is the training-relevant slice of an attack configuration:
+// everything that influences the trained model's bits, plus the unhashed
+// presentation fields (Name) and execution fields (ScalarScoring, Learner).
+// attack.Config projects into this struct, so the options live in one place
+// instead of being re-derived by every training stage.
+type TrainOptions struct {
+	// Name labels the configuration in logs and artifact metadata. It does
+	// not influence training and is excluded from spec hashes.
+	Name string
+	// Features are the feature indices trees may split on.
+	Features []int
+	// Neighborhood enables the Imp scalability improvement (§III-D).
+	Neighborhood bool
+	// NeighborQuantile is the CDF cut defining the neighborhood radius;
+	// zero selects the paper's 0.90.
+	NeighborQuantile float64
+	// LimitDiffVpinY enables the "Y" refinement (§III-G).
+	LimitDiffVpinY bool
+	// TwoLevel enables two-level pruning (§III-E): the artifact carries a
+	// second ensemble trained on level-1 survivors.
+	TwoLevel bool
+	// BaseKind is the Bagging base classifier.
+	BaseKind ml.TreeKind
+	// NumTrees is the ensemble size; zero selects the Weka default for the
+	// base kind.
+	NumTrees int
+	// MaxLoCFrac bounds the per-v-pin candidate lists the two-level stage
+	// draws its negatives from. It only influences training under TwoLevel
+	// and is hashed only then, so one- and two-level configurations share
+	// level-1 artifacts.
+	MaxLoCFrac float64
+	// TrainCap bounds the number of training samples (0 = unlimited).
+	TrainCap int
+	// Learner, when non-nil, replaces the Bagging ensemble. Such Specs are
+	// not cacheable.
+	Learner Learner
+	// ScalarScoring forces the per-pair scalar oracle when the level-2
+	// stage scores training designs with the level-1 model. Results are
+	// bit-identical either way (the documented Ensemble/Bagging contract),
+	// so it is excluded from spec hashes.
+	ScalarScoring bool
+}
+
+// WithDefaults resolves the zero-value conveniences exactly as
+// attack.Config always has.
+func (o TrainOptions) WithDefaults() TrainOptions {
+	if o.NeighborQuantile <= 0 || o.NeighborQuantile > 1 {
+		o.NeighborQuantile = 0.90
+	}
+	if o.NumTrees <= 0 {
+		if o.BaseKind == ml.RandomTree {
+			o.NumTrees = ml.DefaultForestSize
+		} else {
+			o.NumTrees = ml.DefaultBaggingSize
+		}
+	}
+	if o.MaxLoCFrac <= 0 || o.MaxLoCFrac > 1 {
+		o.MaxLoCFrac = 0.15
+	}
+	if len(o.Features) == 0 {
+		o.Features = features.Set9()
+	}
+	return o
+}
+
+// TreeOptions returns the base-classifier options for ensemble training.
+func (o TrainOptions) TreeOptions() ml.TreeOptions {
+	opts := ml.TreeOptions{Kind: o.BaseKind, Features: o.Features}
+	if o.BaseKind == ml.RandomTree {
+		opts.MinLeaf = 1 // Weka RandomTree default
+	}
+	return opts
+}
+
+// Filter builds the pair-admission filter of these options for one
+// instance: the neighborhood radius applies only under the Imp improvement,
+// the DiffVpinY limit only under the "Y" refinement.
+func (o TrainOptions) Filter(inst *pairs.Instance, radiusNorm float64) pairs.Filter {
+	if !o.Neighborhood {
+		radiusNorm = -1
+	}
+	return inst.Filter(radiusNorm, o.LimitDiffVpinY)
+}
+
+// FeatureNames maps the configured feature indices to the paper's names.
+func (o TrainOptions) FeatureNames() []string {
+	out := make([]string, len(o.Features))
+	for i, f := range o.Features {
+		out[i] = features.Names[f]
+	}
+	return out
+}
+
+// workerCount resolves a worker bound for a pool of n units: workers when
+// positive (GOMAXPROCS otherwise), capped at n.
+func workerCount(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}

@@ -1,0 +1,299 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/obs"
+	"repro/internal/pairs"
+	"repro/internal/rng"
+)
+
+// TrainStats is the wall-clock and size breakdown of the training work one
+// Train (or Store.GetOrTrain) call actually performed. A full cache hit
+// reports zeros: the stats describe work done, not work represented.
+type TrainStats struct {
+	// Sampling is training-set generation time, Level1 and Level2 the
+	// ensemble training times (Level2 zero without two-level pruning).
+	Sampling, Level1, Level2 time.Duration
+	// Samples and Level2Samples count the level-1 and level-2 training rows.
+	Samples, Level2Samples int
+}
+
+// Train executes the spec's full train stage — sampling, level-1 ensemble
+// training, and (under TwoLevel) the two-level-pruning stage — and returns
+// the artifact. Training is bit-identical at any spec.Workers count: every
+// random stream is derived from (Seed, unit, Fold, ...). Progress spans
+// ("sampling", "train-level1", "train-level2") nest under spec.Span when
+// spec.Obs is set.
+func Train(spec Spec) (*Artifact, TrainStats, error) {
+	l1, stats, err := trainLevel1(spec.Level1())
+	if err != nil || !spec.Opts.TwoLevel {
+		return l1, stats, err
+	}
+	full, l2stats, err := TrainLevel2(spec, l1)
+	stats.Level2 = l2stats.Level2
+	stats.Level2Samples = l2stats.Level2Samples
+	if err != nil {
+		return nil, stats, err
+	}
+	return full, stats, nil
+}
+
+// trainLevel1 runs sampling plus level-1 ensemble training for a spec that
+// has already been normalised to level 1 (see Spec.Level1).
+func trainLevel1(spec Spec) (*Artifact, TrainStats, error) {
+	var stats TrainStats
+	o := spec.Obs
+
+	t0 := time.Now()
+	ssp := o.BeginUnder(spec.Span, "sampling")
+	ds := TrainingSet(o, spec.Opts, spec.Insts, spec.RadiusNorm, nil,
+		rng.Derive(spec.Seed, UnitSampling, int64(spec.Fold)))
+	stats.Sampling = time.Since(t0)
+	stats.Samples = ds.Len()
+	ssp.SetAttr("samples", ds.Len())
+	ssp.End()
+
+	l1sp := o.BeginUnder(spec.Span, "train-level1",
+		obs.F("samples", ds.Len()), obs.F("trees", spec.Opts.NumTrees))
+	t1 := time.Now()
+	sc, err := trainUnit(spec, ds, UnitLevel1)
+	stats.Level1 = time.Since(t1)
+	l1sp.End()
+	if err != nil {
+		return nil, stats, err
+	}
+
+	art := &Artifact{
+		Meta: Meta{
+			SpecHash:     spec.Hash(),
+			Config:       spec.Opts.Name,
+			Level:        1,
+			SplitLayer:   spec.SplitLayer,
+			Designs:      spec.Designs,
+			Seed:         spec.Seed,
+			Fold:         spec.Fold,
+			RadiusNorm:   spec.RadiusNorm,
+			Samples:      ds.Len(),
+			FeatureNames: spec.Opts.FeatureNames(),
+			Version:      obs.Version(),
+		},
+		l1: sc,
+	}
+	if e, ok := sc.(*ml.Ensemble); ok {
+		art.Meta.Trees = e.Trees()
+	}
+	return art, stats, nil
+}
+
+// TrainLevel2 runs the two-level-pruning stage (§III-E) of a TwoLevel spec
+// on top of an already-trained level-1 artifact and returns the full
+// two-level artifact. The returned stats cover only the level-2 work, so a
+// Store can account a cached level-1 model as zero additional training.
+func TrainLevel2(spec Spec, l1 *Artifact) (*Artifact, TrainStats, error) {
+	var stats TrainStats
+	o := spec.Obs
+	l2sp := o.BeginUnder(spec.Span, "train-level2")
+	t0 := time.Now()
+	sc, nSamples, err := trainLevel2Scorer(spec, l1.l1)
+	stats.Level2 = time.Since(t0)
+	stats.Level2Samples = nSamples
+	l2sp.End()
+	if err != nil {
+		return nil, stats, err
+	}
+	art := &Artifact{Meta: l1.Meta, l1: l1.l1, l2: sc}
+	art.Meta.SpecHash = spec.Hash()
+	art.Meta.Level = 2
+	art.Meta.Level2Samples = nSamples
+	if e, ok := sc.(*ml.Ensemble); ok {
+		art.Meta.Level2Trees = e.Trees()
+	}
+	return art, stats, nil
+}
+
+// trainUnit trains the spec's classifier from streams derived from
+// (Seed, unit, Fold): a custom Learner receives the stream whole, while
+// the default Bagging ensemble trains in parallel with tree t on stream
+// (Seed, unit, Fold, t) and is compiled into its flat-arena form. The
+// arena's Prob is bit-identical to the Bagging's (the documented Ensemble
+// contract), so compiling is always safe — and required for artifacts to
+// be serializable.
+func trainUnit(spec Spec, ds *ml.Dataset, unit int64) (pairs.Scorer, error) {
+	if spec.Opts.Learner != nil {
+		return spec.Opts.Learner(ds, rng.Derive(spec.Seed, unit, int64(spec.Fold)))
+	}
+	streams := func(tree int) *rand.Rand {
+		return rng.Derive(spec.Seed, unit, int64(spec.Fold), int64(tree))
+	}
+	b, err := ml.TrainBaggingStreams(spec.Obs, ds, spec.Opts.NumTrees,
+		spec.Opts.TreeOptions(), streams, workerCount(spec.Workers, spec.Opts.NumTrees))
+	if err != nil {
+		return nil, err
+	}
+	return b.Compile(), nil
+}
+
+// level2Sample is one two-level-pruning training row: a feature vector and
+// its class.
+type level2Sample struct {
+	row []float64
+	pos bool
+}
+
+// trainLevel2Scorer applies the level-1 model to the training designs
+// themselves; every v-pin's level-1 LoC (threshold 0.5) supplies one
+// "high-quality" negative — a candidate the level-1 model could not reject
+// — and the level-2 model is trained on these negatives plus all
+// positives. The per-design scoring fans out across spec.Workers
+// goroutines; samples are assembled in design order, so the level-2
+// training set (and hence the model) is identical at any worker count.
+func trainLevel2Scorer(spec Spec, l1 pairs.Scorer) (pairs.Scorer, int, error) {
+	trainInsts := spec.Insts
+	perInst := make([][]level2Sample, len(trainInsts))
+	// Divide the worker budget between the per-design fan-out here and the
+	// candidate-scoring fan-out inside each level2Samples call: the nested
+	// pools would otherwise multiply to up to Workers² goroutines competing
+	// for Workers cores.
+	total := workerCount(spec.Workers, 1<<30)
+	outer := total
+	if outer > len(trainInsts) {
+		outer = len(trainInsts)
+	}
+	inner := total / outer
+	if inner < 1 {
+		inner = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < outer; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(trainInsts) {
+					return
+				}
+				perInst[i] = level2Samples(spec, trainInsts[i], l1, inner, i)
+			}
+		}()
+	}
+	wg.Wait()
+	ds := &ml.Dataset{}
+	for _, samples := range perInst {
+		for _, s := range samples {
+			ds.Add(s.row, s.pos)
+		}
+	}
+	if ds.Len() == 0 {
+		return nil, 0, fmt.Errorf("model: two-level pruning produced no training samples")
+	}
+	sc, err := trainUnit(spec, ds, UnitLevel2Model)
+	return sc, ds.Len(), err
+}
+
+// level2Samples scores one training design with the level-1 model and
+// collects its two-level training rows: every admitted true pair as a
+// positive, plus per v-pin one negative sampled uniformly from the v-pin's
+// level-1 LoC (candidates scored at or above 0.5, excluding the truth).
+// The negative draws consume the stream (Seed, UnitLevel2Neg, Fold,
+// instIdx) in v-pin order, so the samples are independent of how sibling
+// designs are scheduled.
+func level2Samples(spec Spec, inst *pairs.Instance, l1 pairs.Scorer, workers, instIdx int) []level2Sample {
+	filter := spec.Opts.Filter(inst, spec.RadiusNorm)
+	lists := candidateLists(spec, inst, l1, workers)
+	negRng := rng.Derive(spec.Seed, UnitLevel2Neg, int64(spec.Fold), int64(instIdx))
+	var out []level2Sample
+	for a := 0; a < inst.N(); a++ {
+		m := inst.Match(a)
+		if m >= 0 && filter.Admits(a, m) {
+			row := make([]float64, features.NumFeatures)
+			inst.Ex.Pair(a, m, row)
+			out = append(out, level2Sample{row: row, pos: true})
+		}
+		// Collect the level-1 LoC of a (p >= 0.5, excluding the truth)
+		// and sample one high-quality negative from it.
+		cands := lists[a]
+		loc := cands[:0:0]
+		for _, c := range cands {
+			if c.P < 0.5 {
+				break // sorted descending
+			}
+			if int(c.Other) != m {
+				loc = append(loc, c)
+			}
+		}
+		if len(loc) == 0 {
+			continue
+		}
+		pick := loc[negRng.Intn(len(loc))]
+		row := make([]float64, features.NumFeatures)
+		inst.Ex.Pair(a, int(pick.Other), row)
+		out = append(out, level2Sample{row: row, pos: false})
+	}
+	return out
+}
+
+// candidateLists scores every admitted candidate pair of inst with the
+// level-1 model and returns the per-v-pin retained lists, exactly as the
+// attack engine's scoring stage produces them: gathered per v-pin into a
+// reusable arena, scored through the resolved backend, retained through
+// the shared bounded heap, and sorted into canonical order. The lists are
+// bit-identical to the engine's at any worker count.
+func candidateLists(spec Spec, inst *pairs.Instance, l1 pairs.Scorer, workers int) [][]pairs.Candidate {
+	n := inst.N()
+	filter := spec.Opts.Filter(inst, spec.RadiusNorm)
+	capPer := pairs.LoCCap(n, spec.Opts.MaxLoCFrac)
+	lists := make([][]pairs.Candidate, n)
+
+	var next int64
+	var mu sync.Mutex
+	take := func(batch int) (int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		lo := int(next)
+		if lo >= n {
+			return 0, 0
+		}
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		next = int64(hi)
+		return lo, hi
+	}
+
+	backend := pairs.ResolveBackend(l1, spec.Opts.ScalarScoring)
+	var wg sync.WaitGroup
+	for w := 0; w < workerCount(workers, n); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var g pairs.Gatherer
+			for {
+				lo, hi := take(16)
+				if lo == hi {
+					return
+				}
+				for a := lo; a < hi; a++ {
+					h := pairs.TopK{Cap: capPer}
+					g.Gather(filter, a)
+					g.Score(backend)
+					for k, b32 := range g.Ids {
+						h.Push(pairs.Candidate{Other: b32, P: float32(g.P[k]), D: g.D[k]})
+					}
+					lists[a] = h.Sorted()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return lists
+}

@@ -1,0 +1,104 @@
+package pairs
+
+import "slices"
+
+// Candidate is one scored entry of a v-pin's candidate list.
+type Candidate struct {
+	// Other is the candidate partner v-pin.
+	Other int32
+	// P is the ensemble probability p(v, v') of eq. (3).
+	P float32
+	// D is the ManhattanVpin distance, used by the proximity attack.
+	D float32
+}
+
+// CompareCandidates is the candidate-list order: descending probability,
+// ties broken by ascending partner index. Other is unique within a list,
+// so this is a total order and every sorting algorithm — and both scoring
+// backends — produce exactly the same list.
+func CompareCandidates(x, y Candidate) int {
+	if x.P != y.P {
+		if x.P > y.P {
+			return -1
+		}
+		return 1
+	}
+	return int(x.Other) - int(y.Other)
+}
+
+// LoCCap is the per-v-pin candidate-list bound for a design with n v-pins:
+// maxLoCFrac*n, floored at 32 entries so tiny designs keep usable lists,
+// and never more than n. Every consumer of retained candidate lists (the
+// attack engine, the two-level pruning stage) must use the same bound or
+// their lists diverge.
+func LoCCap(n int, maxLoCFrac float64) int {
+	capPer := int(maxLoCFrac * float64(n))
+	if capPer < 32 {
+		capPer = 32
+	}
+	if capPer > n {
+		capPer = n
+	}
+	return capPer
+}
+
+// TopK is a bounded min-heap on P keeping the Cap highest-probability
+// candidates. Push candidates in enumeration order, then call Sorted once:
+// because CompareCandidates is a total order, the retained list does not
+// depend on the heap's internal state history.
+type TopK struct {
+	// Cap bounds the retained candidates and must be positive.
+	Cap int
+	c   []Candidate
+}
+
+// Push offers a candidate, evicting the current minimum when full.
+func (h *TopK) Push(cand Candidate) {
+	if len(h.c) < h.Cap {
+		h.c = append(h.c, cand)
+		h.up(len(h.c) - 1)
+		return
+	}
+	if cand.P <= h.c[0].P {
+		return
+	}
+	h.c[0] = cand
+	h.down(0)
+}
+
+// Sorted destroys the heap order and returns the retained candidates in
+// canonical CompareCandidates order.
+func (h *TopK) Sorted() []Candidate {
+	slices.SortFunc(h.c, CompareCandidates)
+	return h.c
+}
+
+func (h *TopK) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.c[p].P <= h.c[i].P {
+			break
+		}
+		h.c[p], h.c[i] = h.c[i], h.c[p]
+		i = p
+	}
+}
+
+func (h *TopK) down(i int) {
+	n := len(h.c)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.c[l].P < h.c[small].P {
+			small = l
+		}
+		if r < n && h.c[r].P < h.c[small].P {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.c[i], h.c[small] = h.c[small], h.c[i]
+		i = small
+	}
+}
