@@ -1,0 +1,228 @@
+// Perf-baseline gate: `benchgen -check` reruns the scoring and training
+// measurements and compares them against the committed BENCH_scoring.json /
+// BENCH_train.json baselines.
+//
+// The gate is designed to be meaningful across machines. Two kinds of
+// fields are checked:
+//
+//   - Exact fields (pair/batch/row counts, sample/tree counts, artifact
+//     bytes) are deterministic functions of (scale, seed) — the engine's
+//     bit-identity guarantee — and must match the baseline exactly on any
+//     hardware. A mismatch means behavior changed, not that a machine is
+//     slow.
+//   - Ratio fields (batch-vs-scalar speedup, mallocs per pair, cold-train
+//     vs warm-load speedup) compare two measurements taken on the same
+//     machine in the same process, so they transfer across hardware. Each
+//     must stay within the tolerance of its baseline value (speedups may
+//     drop to baseline*(1-tol); allocation rates may grow to
+//     baseline*(1+tol)).
+//
+// Absolute wall-clock numbers in the baselines (pairs/sec, ns) are recorded
+// for the perf trajectory but never gated on.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/layout"
+	"repro/internal/obs"
+)
+
+// checker accumulates gate results and prints one line per check.
+type checker struct {
+	checks     int
+	violations []string
+}
+
+// exact gates a deterministic field on equality.
+func (c *checker) exact(name string, base, cur int64) {
+	c.checks++
+	if base == cur {
+		fmt.Printf("  ok    %-44s %d (exact)\n", name, cur)
+		return
+	}
+	v := fmt.Sprintf("%s: got %d, baseline %d (must match exactly)", name, cur, base)
+	c.violations = append(c.violations, v)
+	fmt.Printf("  FAIL  %-44s %d, baseline %d\n", name, cur, base)
+}
+
+// floor gates a same-machine ratio against its allowed minimum
+// base*(1-tol).
+func (c *checker) floor(name string, base, cur, tol float64) {
+	c.checks++
+	limit := base * (1 - tol)
+	if cur >= limit {
+		fmt.Printf("  ok    %-44s %.4g (baseline %.4g, floor %.4g)\n", name, cur, base, limit)
+		return
+	}
+	v := fmt.Sprintf("%s: %.4g below floor %.4g (baseline %.4g, tolerance %.0f%%)",
+		name, cur, limit, base, tol*100)
+	c.violations = append(c.violations, v)
+	fmt.Printf("  FAIL  %-44s %.4g below floor %.4g (baseline %.4g)\n", name, cur, limit, base)
+}
+
+// ceiling gates a same-machine ratio against its allowed maximum
+// base*(1+tol).
+func (c *checker) ceiling(name string, base, cur, tol float64) {
+	c.checks++
+	limit := base * (1 + tol)
+	if cur <= limit {
+		fmt.Printf("  ok    %-44s %.4g (baseline %.4g, ceiling %.4g)\n", name, cur, base, limit)
+		return
+	}
+	v := fmt.Sprintf("%s: %.4g above ceiling %.4g (baseline %.4g, tolerance %.0f%%)",
+		name, cur, limit, base, tol*100)
+	c.violations = append(c.violations, v)
+	fmt.Printf("  FAIL  %-44s %.4g above ceiling %.4g (baseline %.4g)\n", name, cur, limit, base)
+}
+
+func loadBaseline(path string, doc any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchgen -check: %w", err)
+	}
+	if err := json.Unmarshal(b, doc); err != nil {
+		return fmt.Errorf("benchgen -check: %s: %w", path, err)
+	}
+	return nil
+}
+
+// checkSuite generates (or reuses) the benchmark suite at the baseline's
+// coordinates.
+type suiteCache struct {
+	o       *obs.Context
+	workers int
+	scale   float64
+	seed    int64
+	designs []*layout.Design
+}
+
+func (sc *suiteCache) get(scale float64, seed int64) ([]*layout.Design, error) {
+	if sc.designs != nil && sc.scale == scale && sc.seed == seed {
+		return sc.designs, nil
+	}
+	designs, err := layout.GenerateSuiteObs(sc.o, layout.SuiteConfig{
+		Scale: scale, Seed: seed, Workers: sc.workers})
+	if err != nil {
+		return nil, err
+	}
+	sc.scale, sc.seed, sc.designs = scale, seed, designs
+	return designs, nil
+}
+
+// runCheck loads both baselines, reruns their measurements at the
+// baselines' own (scale, seed), gates every field, and returns an error
+// listing the violations, if any.
+func runCheck(o *obs.Context, workers int, scoringPath, trainPath string, tol float64) error {
+	if tol <= 0 || tol >= 1 {
+		return fmt.Errorf("benchgen -check: -tolerance %g out of range (0, 1)", tol)
+	}
+	suite := &suiteCache{o: o, workers: workers}
+	chk := &checker{}
+
+	var scoringBase scoringDoc
+	if err := loadBaseline(scoringPath, &scoringBase); err != nil {
+		return err
+	}
+	designs, err := suite.get(scoringBase.Scale, scoringBase.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checking %s (scale %g, seed %d, tolerance %.0f%%)\n",
+		scoringPath, scoringBase.Scale, scoringBase.Seed, tol*100)
+	cur, err := measureScoring(designs, scoringBase.Scale, scoringBase.Seed)
+	if err != nil {
+		return err
+	}
+	chk.exact("instance_prep.designs", int64(scoringBase.InstancePrep.Designs), int64(cur.InstancePrep.Designs))
+	checkConfigs(chk, "scoring", configNames(scoringBase.Configs), configNames(cur.Configs))
+	for i, base := range scoringBase.Configs {
+		if i >= len(cur.Configs) || cur.Configs[i].Config != base.Config {
+			continue
+		}
+		got := cur.Configs[i]
+		pfx := "scoring." + base.Config + "."
+		chk.exact(pfx+"pairs", base.Pairs, got.Pairs)
+		chk.exact(pfx+"batches", base.Batches, got.Batches)
+		chk.exact(pfx+"batch_rows", base.BatchRows, got.BatchRows)
+		chk.floor(pfx+"speedup", base.Speedup, got.Speedup, tol)
+		chk.ceiling(pfx+"scalar_mallocs_per_pair", base.ScalarMallocsPerPair, got.ScalarMallocsPerPair, tol)
+		chk.ceiling(pfx+"batch_mallocs_per_pair", base.BatchMallocsPerPair, got.BatchMallocsPerPair, tol)
+	}
+
+	var trainBase trainDoc
+	if err := loadBaseline(trainPath, &trainBase); err != nil {
+		return err
+	}
+	designs, err = suite.get(trainBase.Scale, trainBase.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("checking %s (scale %g, seed %d, tolerance %.0f%%)\n",
+		trainPath, trainBase.Scale, trainBase.Seed, tol*100)
+	curTrain, err := measureTrain(designs, trainBase.Scale, trainBase.Seed)
+	if err != nil {
+		return err
+	}
+	checkConfigs(chk, "train", trainConfigNames(trainBase.Configs), trainConfigNames(curTrain.Configs))
+	for i, base := range trainBase.Configs {
+		if i >= len(curTrain.Configs) || curTrain.Configs[i].Config != base.Config {
+			continue
+		}
+		got := curTrain.Configs[i]
+		pfx := "train." + base.Config + "."
+		chk.exact(pfx+"samples", int64(base.Samples), int64(got.Samples))
+		chk.exact(pfx+"trees", int64(base.Trees), int64(got.Trees))
+		chk.exact(pfx+"artifact_bytes", int64(base.ArtifactBytes), int64(got.ArtifactBytes))
+		chk.floor(pfx+"warm_load_speedup", base.Speedup, got.Speedup, tol)
+	}
+
+	if len(chk.violations) > 0 {
+		fmt.Printf("\nperf gate: %d of %d checks FAILED\n", len(chk.violations), chk.checks)
+		return fmt.Errorf("benchgen -check: %d regression(s):\n  %s",
+			len(chk.violations), joinLines(chk.violations))
+	}
+	fmt.Printf("\nperf gate: all %d checks passed\n", chk.checks)
+	return nil
+}
+
+// checkConfigs gates the config lists matching by name and order.
+func checkConfigs(chk *checker, kind string, base, cur []string) {
+	chk.checks++
+	if fmt.Sprint(base) == fmt.Sprint(cur) {
+		fmt.Printf("  ok    %-44s %v\n", kind+".configs", cur)
+		return
+	}
+	v := fmt.Sprintf("%s.configs: measured %v, baseline %v", kind, cur, base)
+	chk.violations = append(chk.violations, v)
+	fmt.Printf("  FAIL  %-44s %v, baseline %v\n", kind+".configs", cur, base)
+}
+
+func configNames(entries []scoringBenchEntry) []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Config
+	}
+	return out
+}
+
+func trainConfigNames(entries []trainBenchEntry) []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Config
+	}
+	return out
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

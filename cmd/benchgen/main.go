@@ -2,26 +2,29 @@
 // vital statistics: per-design sizes, trunk-layer populations, and v-pin
 // counts per split layer — the quantities that determine attack difficulty.
 //
+// It also owns the repository's perf baselines: -scoring-bench / -train-bench
+// measure pair-scoring throughput and the train-once/score-many trade and
+// write them to BENCH_scoring.json / BENCH_train.json, and -check reruns
+// those measurements against the committed baselines and fails on
+// regression beyond -tolerance (see check.go for what is gated exactly vs.
+// by same-machine ratio). CI runs the -check gate on every push.
+//
 // Observability is opt-in: -v streams structured span logs to stderr
 // (-log-format text|json), -report writes a JSON run report with
-// per-design generation spans, -metrics dumps the metrics registry, and
+// per-design generation spans, -metrics dumps the metrics registry,
+// -serve-obs serves live telemetry, -trace writes a Chrome trace, and
 // -cpuprofile/-memprofile capture pprof profiles.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"text/tabwriter"
-	"time"
 
-	"repro/internal/attack"
 	"repro/internal/cli"
 	"repro/internal/layout"
-	"repro/internal/model"
 	"repro/internal/route"
 	"repro/internal/split"
 	"repro/internal/timing"
@@ -35,7 +38,27 @@ func main() {
 		"measure pair-scoring throughput (scalar oracle vs batched arena) on the generated suite and write the baseline JSON to this file, e.g. BENCH_scoring.json")
 	trainBench := fs.String("train-bench", "",
 		"measure cold-train vs warm artifact-load timings on the generated suite and write the baseline JSON to this file, e.g. BENCH_train.json")
+	check := fs.Bool("check", false,
+		"perf gate: rerun the benches and fail on regression against the committed baselines (paths from -scoring-bench/-train-bench, defaulting to BENCH_scoring.json/BENCH_train.json)")
+	tolerance := fs.Float64("tolerance", 0.5,
+		"-check tolerance on same-machine ratio metrics: speedups may drop to baseline*(1-t), allocation rates may grow to baseline*(1+t); exact fields always must match")
 	o := app.Parse(os.Args[1:])
+
+	if *check {
+		scoringPath, trainPath := *scoringBench, *trainBench
+		if scoringPath == "" {
+			scoringPath = "BENCH_scoring.json"
+		}
+		if trainPath == "" {
+			trainPath = "BENCH_train.json"
+		}
+		if err := runCheck(o, app.Workers(), scoringPath, trainPath, *tolerance); err != nil {
+			cli.Fatal(err)
+		}
+		app.Finish(o, map[string]any{"check": true, "tolerance": *tolerance},
+			map[string]any{"perf_gate": "pass"})
+		return
+	}
 
 	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{
 		Scale: app.Scale, Seed: app.Seed, Workers: app.Workers()})
@@ -117,13 +140,21 @@ func main() {
 	tw.Flush()
 
 	if *scoringBench != "" {
-		if err := writeScoringBench(*scoringBench, designs, app.Scale, app.Seed); err != nil {
+		doc, err := measureScoring(designs, app.Scale, app.Seed)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		if err := writeBaseline(*scoringBench, doc); err != nil {
 			cli.Fatal(err)
 		}
 		fmt.Printf("\nwrote scoring baseline to %s\n", *scoringBench)
 	}
 	if *trainBench != "" {
-		if err := writeTrainBench(*trainBench, designs, app.Scale, app.Seed); err != nil {
+		doc, err := measureTrain(designs, app.Scale, app.Seed)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		if err := writeBaseline(*trainBench, doc); err != nil {
 			cli.Fatal(err)
 		}
 		fmt.Printf("\nwrote training baseline to %s\n", *trainBench)
@@ -131,212 +162,4 @@ func main() {
 
 	summary := map[string]any{"designs": designStats}
 	app.Finish(o, nil, summary)
-}
-
-// scoringBenchEntry is one config's scalar-vs-batch scoring measurement in
-// the BENCH_scoring.json baseline.
-type scoringBenchEntry struct {
-	Config string `json:"config"`
-	// Pairs is the number of candidate pairs scored for the measured target.
-	Pairs int64 `json:"pairs"`
-	// ScalarPairsPerSec and BatchPairsPerSec are the scoring-phase
-	// throughputs (Evaluation.TestDur over PairsScored) of the per-pair
-	// oracle and the batched arena path.
-	ScalarPairsPerSec float64 `json:"scalar_pairs_per_sec"`
-	BatchPairsPerSec  float64 `json:"batch_pairs_per_sec"`
-	Speedup           float64 `json:"speedup"`
-	// Batches and BatchRows are the batch path's ProbBatch call and row
-	// counts (level 1 + level 2).
-	Batches   int64 `json:"batches"`
-	BatchRows int64 `json:"batch_rows"`
-	// MallocsPerPair is the heap-allocation count of the whole target run
-	// (training included) divided by the pairs scored, per path — a coarse
-	// trajectory metric; the steady-state scoring loop itself allocates
-	// nothing on the batch path (guarded by testing.AllocsPerRun in
-	// internal/attack).
-	ScalarMallocsPerPair float64 `json:"scalar_mallocs_per_pair"`
-	BatchMallocsPerPair  float64 `json:"batch_mallocs_per_pair"`
-}
-
-// writeScoringBench trains and scores one leave-one-out target per standard
-// configuration at split layer 6, once through the scalar oracle and once
-// through the batched arena path, and writes the throughput baseline.
-func writeScoringBench(path string, designs []*layout.Design, scale float64, seed int64) error {
-	chs := make([]*split.Challenge, 0, len(designs))
-	for _, d := range designs {
-		c, err := split.NewChallenge(d, 6)
-		if err != nil {
-			return err
-		}
-		chs = append(chs, c)
-	}
-	// Instance preparation (feature extractors + spatial pair indexes) is
-	// the fixed cost every attack run pays before scoring; measure the
-	// serial build against the parallel one so cache and fan-out wins show
-	// up in the perf trajectory.
-	t0 := time.Now()
-	attack.NewInstancesWorkers(chs, 1)
-	serialNs := time.Since(t0).Nanoseconds()
-	t0 = time.Now()
-	attack.NewInstancesWorkers(chs, 0)
-	parallelNs := time.Since(t0).Nanoseconds()
-
-	twoLevel := attack.WithTwoLevel(attack.Imp11())
-	twoLevel.Name += "-2L"
-	configs := []attack.Config{attack.ML9(), attack.Imp11(), twoLevel}
-	entries := make([]scoringBenchEntry, 0, len(configs))
-	for _, cfg := range configs {
-		cfg.Seed = seed
-		entry := scoringBenchEntry{Config: cfg.Name}
-		for _, scalar := range []bool{true, false} {
-			c := cfg
-			c.ScalarScoring = scalar
-			var before, after runtime.MemStats
-			runtime.ReadMemStats(&before)
-			ev, _, err := attack.RunTarget(c, chs, 0)
-			runtime.ReadMemStats(&after)
-			if err != nil {
-				return fmt.Errorf("scoring bench %s: %w", c.Name, err)
-			}
-			pps := float64(ev.PairsScored) / ev.TestDur.Seconds()
-			mallocs := float64(after.Mallocs-before.Mallocs) / float64(ev.PairsScored)
-			if scalar {
-				entry.Pairs = ev.PairsScored
-				entry.ScalarPairsPerSec = pps
-				entry.ScalarMallocsPerPair = mallocs
-			} else {
-				entry.BatchPairsPerSec = pps
-				entry.BatchMallocsPerPair = mallocs
-				entry.Batches = ev.Batches
-				entry.BatchRows = ev.BatchRows
-			}
-		}
-		entry.Speedup = entry.BatchPairsPerSec / entry.ScalarPairsPerSec
-		entries = append(entries, entry)
-	}
-	doc := map[string]any{
-		"scale":       scale,
-		"seed":        seed,
-		"split_layer": 6,
-		"instance_prep": map[string]any{
-			"designs":     len(chs),
-			"serial_ns":   serialNs,
-			"parallel_ns": parallelNs,
-			"speedup":     float64(serialNs) / float64(parallelNs),
-		},
-		"configs": entries,
-	}
-	buf, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
-}
-
-// trainBenchEntry is one config's cold-train vs warm-load measurement in
-// the BENCH_train.json baseline.
-type trainBenchEntry struct {
-	Config string `json:"config"`
-	// ColdTrainNs is a full in-process model.Train for fold 0: sampling,
-	// level-1 ensemble training, and (for two-level configs) the pruning
-	// stage.
-	ColdTrainNs int64 `json:"cold_train_ns"`
-	// EncodeNs and ArtifactBytes measure MarshalBinary on the trained
-	// artifact; WarmLoadNs measures UnmarshalArtifact on the same blob —
-	// the cost an `attack -model` run pays instead of ColdTrainNs.
-	EncodeNs      int64 `json:"encode_ns"`
-	ArtifactBytes int   `json:"artifact_bytes"`
-	WarmLoadNs    int64 `json:"warm_load_ns"`
-	// StoreMissNs and StoreHitNs are Store.GetOrTrain timings for the same
-	// spec: the first call trains, the second is served from the LRU.
-	StoreMissNs int64 `json:"store_miss_ns"`
-	StoreHitNs  int64 `json:"store_hit_ns"`
-	// Speedup is ColdTrainNs over WarmLoadNs: how much faster a sweep
-	// resumes when the fold's artifact is already on disk.
-	Speedup float64 `json:"speedup"`
-	Samples int     `json:"samples"`
-	Trees   int     `json:"trees"`
-}
-
-// writeTrainBench measures the train-once/score-many trade for fold 0 at
-// split layer 6: a cold in-process train, the artifact codec round-trip,
-// and a Store miss/hit pair, per standard configuration.
-func writeTrainBench(path string, designs []*layout.Design, scale float64, seed int64) error {
-	chs := make([]*split.Challenge, 0, len(designs))
-	for _, d := range designs {
-		c, err := split.NewChallenge(d, 6)
-		if err != nil {
-			return err
-		}
-		chs = append(chs, c)
-	}
-	insts := attack.NewInstancesWorkers(chs, 0)
-
-	twoLevel := attack.WithTwoLevel(attack.Imp11())
-	twoLevel.Name += "-2L"
-	configs := []attack.Config{attack.Imp11(), twoLevel}
-	entries := make([]trainBenchEntry, 0, len(configs))
-	for _, cfg := range configs {
-		cfg.Seed = seed
-		spec, _, err := attack.TrainSpec(cfg, insts, 0)
-		if err != nil {
-			return fmt.Errorf("train bench %s: %w", cfg.Name, err)
-		}
-
-		t0 := time.Now()
-		art, _, err := model.Train(spec)
-		if err != nil {
-			return fmt.Errorf("train bench %s: %w", cfg.Name, err)
-		}
-		coldNs := time.Since(t0).Nanoseconds()
-
-		t0 = time.Now()
-		blob, err := art.MarshalBinary()
-		if err != nil {
-			return fmt.Errorf("train bench %s: %w", cfg.Name, err)
-		}
-		encodeNs := time.Since(t0).Nanoseconds()
-		t0 = time.Now()
-		if _, err := model.UnmarshalArtifact(blob); err != nil {
-			return fmt.Errorf("train bench %s: %w", cfg.Name, err)
-		}
-		warmNs := time.Since(t0).Nanoseconds()
-
-		store := model.NewStore(0, "")
-		t0 = time.Now()
-		if _, _, err := store.GetOrTrain(spec); err != nil {
-			return fmt.Errorf("train bench %s: %w", cfg.Name, err)
-		}
-		missNs := time.Since(t0).Nanoseconds()
-		t0 = time.Now()
-		if _, _, err := store.GetOrTrain(spec); err != nil {
-			return fmt.Errorf("train bench %s: %w", cfg.Name, err)
-		}
-		hitNs := time.Since(t0).Nanoseconds()
-
-		entries = append(entries, trainBenchEntry{
-			Config:        cfg.Name,
-			ColdTrainNs:   coldNs,
-			EncodeNs:      encodeNs,
-			ArtifactBytes: len(blob),
-			WarmLoadNs:    warmNs,
-			StoreMissNs:   missNs,
-			StoreHitNs:    hitNs,
-			Speedup:       float64(coldNs) / float64(warmNs),
-			Samples:       art.Meta.Samples,
-			Trees:         art.Meta.Trees,
-		})
-	}
-	doc := map[string]any{
-		"scale":       scale,
-		"seed":        seed,
-		"split_layer": 6,
-		"fold":        0,
-		"configs":     entries,
-	}
-	buf, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

@@ -68,6 +68,7 @@ func main() {
 
 	ran := []string{}
 	durations := map[string]any{}
+	prog := o.NewProgress("experiments", int64(len(selected)))
 	for _, e := range selected {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		t := time.Now()
@@ -79,7 +80,9 @@ func main() {
 		fmt.Printf("(%s finished in %v)\n\n", e.ID, d.Round(time.Millisecond))
 		ran = append(ran, e.ID)
 		durations[e.ID+"_ns"] = int64(d)
+		prog.Add(1)
 	}
+	prog.Finish()
 
 	configMap := map[string]any{"run": *run}
 	// Cache effectiveness: instance_cache is how often a (layer, noise)

@@ -162,6 +162,9 @@ func RunProximityOnInstances(cfg Config, insts []*Instance, prior *Result) ([]PA
 	root := o.Begin("attack.pa", obs.F("config", cfg.Name),
 		obs.F("designs", len(insts)), obs.F("workers", workers))
 	defer root.End()
+	prog := o.NewProgress(fmt.Sprintf("pa.%s.L%d", cfg.Name, insts[0].Ch.SplitLayer),
+		int64(len(insts)))
+	defer prog.Finish()
 	outcomes := make([]PAOutcome, len(insts))
 	errs := make([]error, len(insts))
 	var next atomic.Int64
@@ -188,6 +191,7 @@ func RunProximityOnInstances(cfg Config, insts []*Instance, prior *Result) ([]PA
 					if err != nil {
 						errs[target] = err
 						tsp.End()
+						prog.Add(1)
 						continue
 					}
 				}
@@ -195,10 +199,12 @@ func RunProximityOnInstances(cfg Config, insts []*Instance, prior *Result) ([]PA
 					errs[target] = fmt.Errorf("attack: %s: target %s: prior result has no evaluation",
 						cfg.Name, insts[target].Ch.Design.Name)
 					tsp.End()
+					prog.Add(1)
 					continue
 				}
 				outcomes[target] = paTarget(cfg, insts, target, ev, radiusNorm, tsp)
 				tsp.End()
+				prog.Add(1)
 			}
 		}(w)
 	}

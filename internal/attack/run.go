@@ -134,6 +134,11 @@ func RunInstances(cfg Config, insts []*Instance) (*Result, error) {
 		obs.F("layer", insts[0].Ch.SplitLayer), obs.F("designs", len(insts)),
 		obs.F("workers", workers))
 	defer sp.End()
+	// Live progress over targets: done/total, rate, and ETA land in the
+	// progress gauges and the /progress endpoint while the run executes.
+	prog := o.NewProgress(fmt.Sprintf("attack.%s.L%d", cfg.Name, insts[0].Ch.SplitLayer),
+		int64(len(insts)))
+	defer prog.Finish()
 	start := time.Now()
 	res := &Result{
 		Config:     cfg,
@@ -155,6 +160,7 @@ func RunInstances(cfg Config, insts []*Instance) (*Result, error) {
 				}
 				res.RadiusNorm[target] = -1
 				ev, radius, err := runTarget(cfg, insts, target, worker, sp)
+				prog.Add(1)
 				if err != nil {
 					errs[target] = err
 					continue

@@ -20,6 +20,7 @@ func TestNewRegistersSharedFlags(t *testing.T) {
 	for _, name := range []string{
 		"scale", "seed", "workers", "v", "log-format",
 		"report", "metrics", "cpuprofile", "memprofile", "version",
+		"serve-obs", "trace",
 	} {
 		if fs.Lookup(name) == nil {
 			t.Errorf("flag -%s not registered", name)

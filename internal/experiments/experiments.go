@@ -299,10 +299,10 @@ func (s *Suite) RunNoisy(cfg attack.Config, layer int, sd float64) (*attack.Resu
 }
 
 // sweep runs fn for every index in 0..n-1 on a bounded pool (suite worker
-// bound capped at n) and joins the per-index errors. Each index's work is
-// deterministic on its own, so the sweep result does not depend on the
-// worker count.
-func (s *Suite) sweep(n int, fn func(i int) error) error {
+// bound capped at n) and joins the per-index errors, tracking live progress
+// under "sweep.<name>". Each index's work is deterministic on its own, so
+// the sweep result does not depend on the worker count.
+func (s *Suite) sweep(name string, n int, fn func(i int) error) error {
 	workers := s.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -310,6 +310,8 @@ func (s *Suite) sweep(n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	prog := s.Obs.NewProgress("sweep."+name, int64(n))
+	defer prog.Finish()
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -323,6 +325,7 @@ func (s *Suite) sweep(n int, fn func(i int) error) error {
 					return
 				}
 				errs[i] = fn(i)
+				prog.Add(1)
 			}
 		}()
 	}
@@ -337,7 +340,7 @@ func (s *Suite) sweep(n int, fn func(i int) error) error {
 // prefetch every column before printing.
 func (s *Suite) RunAll(cfgs []attack.Config, layer int) ([]*attack.Result, error) {
 	out := make([]*attack.Result, len(cfgs))
-	err := s.sweep(len(cfgs), func(i int) error {
+	err := s.sweep(fmt.Sprintf("configs.L%d", layer), len(cfgs), func(i int) error {
 		r, err := s.Run(cfgs[i], layer)
 		out[i] = r
 		return err
@@ -351,7 +354,7 @@ func (s *Suite) RunAll(cfgs []attack.Config, layer int) ([]*attack.Result, error
 // cfgs and identical to sequential RunPA calls.
 func (s *Suite) RunPAAll(cfgs []attack.Config, layer int, sd float64) ([][]attack.PAOutcome, error) {
 	out := make([][]attack.PAOutcome, len(cfgs))
-	err := s.sweep(len(cfgs), func(i int) error {
+	err := s.sweep(fmt.Sprintf("pa.L%d", layer), len(cfgs), func(i int) error {
 		o, err := s.RunPA(cfgs[i], layer, sd)
 		out[i] = o
 		return err

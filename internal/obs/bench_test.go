@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// BenchmarkRegistrySnapshot measures snapshotting a registry with full
+// histogram reservoirs — the /metrics hot path. Snapshot sorts each
+// reservoir once and reads all three quantiles from the sorted copy (it
+// used to copy and sort per quantile).
+func BenchmarkRegistrySnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 4; i++ {
+		h := r.Histogram(fmt.Sprintf("h%d", i))
+		for j := 0; j < histReservoir; j++ {
+			h.Observe(float64(j * (i + 1) % 997))
+		}
+	}
+	for i := 0; i < 16; i++ {
+		r.Counter(fmt.Sprintf("c%d", i)).Add(int64(i))
+		r.Gauge(fmt.Sprintf("g%d", i)).Set(float64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := r.Snapshot(); s == nil {
+			b.Fatal("nil snapshot")
+		}
+	}
+}
+
+// BenchmarkWritePrometheus measures rendering a populated snapshot to the
+// exposition format.
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 4; i++ {
+		h := r.Histogram(fmt.Sprintf("h%d", i))
+		for j := 0; j < 1000; j++ {
+			h.Observe(float64(j))
+		}
+	}
+	for i := 0; i < 16; i++ {
+		r.Counter(fmt.Sprintf("c%d", i)).Add(int64(i))
+	}
+	s := r.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.WritePrometheus(io.Discard)
+	}
+}
+
+// BenchmarkSpanTracedVsUntraced shows what a traced span costs relative to
+// the plain span path (both against an enabled context; the nil-context
+// path is free and covered by AllocsPerRun tests in internal/attack).
+func BenchmarkSpanTracedVsUntraced(b *testing.B) {
+	b.Run("untraced", func(b *testing.B) {
+		o := New(Options{Command: "bench"})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.Begin("s").End()
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		o := New(Options{Command: "bench"})
+		o.EnableTrace(1 << 20)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			o.Begin("s").End()
+		}
+	})
+}

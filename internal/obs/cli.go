@@ -31,11 +31,22 @@ type CLI struct {
 	// sweeps). Zero selects GOMAXPROCS. Results are bit-identical at any
 	// value.
 	Workers int
+	// ServeObs, when non-empty, serves live telemetry (/metrics in
+	// Prometheus format, /progress, /spans, /healthz, /debug/pprof) on
+	// this address for the duration of the run.
+	ServeObs string
+	// TracePath, when non-empty, records span begin/end events and writes
+	// them as Chrome trace-event JSON (Perfetto-loadable) to this path at
+	// exit.
+	TracePath string
 
 	cpuFile *os.File
+	server  *Server
 }
 
-// Register installs the flags on fs.
+// Register installs the flags on fs. The -serve-obs and -trace flags are
+// defined here, once, so every command shares one definition and cannot
+// drift.
 func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&c.Verbose, "v", false, "verbose: structured span/phase logs on stderr")
 	fs.IntVar(&c.Workers, "workers", 0, "max worker goroutines for parallel stages (0 = GOMAXPROCS); results are identical at any value")
@@ -45,6 +56,8 @@ func (c *CLI) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this path")
 	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this path at exit")
 	fs.BoolVar(&c.ShowVersion, "version", false, "print version and exit")
+	fs.StringVar(&c.ServeObs, "serve-obs", "", "serve live telemetry (/metrics, /progress, /spans, /healthz, /debug/pprof) on this address, e.g. :9090")
+	fs.StringVar(&c.TracePath, "trace", "", "write a Chrome trace-event (Perfetto) JSON span timeline to this path")
 }
 
 // Setup starts profiling and returns the observability context implied by
@@ -65,7 +78,7 @@ func (c *CLI) Setup(command string) (*Context, error) {
 		}
 		c.cpuFile = f
 	}
-	if !c.Verbose && c.ReportPath == "" && !c.DumpMetrics {
+	if !c.Verbose && c.ReportPath == "" && !c.DumpMetrics && c.ServeObs == "" && c.TracePath == "" {
 		return nil, nil
 	}
 	var logger *slog.Logger
@@ -77,13 +90,48 @@ func (c *CLI) Setup(command string) (*Context, error) {
 			logger = slog.New(slog.NewTextHandler(os.Stderr, hopts))
 		}
 	}
-	return New(Options{Command: command, Logger: logger}), nil
+	o := New(Options{Command: command, Logger: logger})
+	if c.TracePath != "" {
+		o.EnableTrace(0)
+	}
+	if c.ServeObs != "" {
+		srv, err := o.Serve(c.ServeObs)
+		if err != nil {
+			return nil, err
+		}
+		c.server = srv
+		fmt.Fprintf(os.Stderr, "obs: serving live telemetry on http://%s\n", srv.Addr())
+	}
+	return o, nil
 }
 
-// Finish runs the at-exit observability work: it stops the CPU profile,
+// ServerAddr returns the bound address of the live telemetry server, empty
+// when -serve-obs is off.
+func (c *CLI) ServerAddr() string {
+	if c.server == nil {
+		return ""
+	}
+	return c.server.Addr()
+}
+
+// Finish runs the at-exit observability work: it shuts down the live
+// telemetry server, writes the Chrome trace file, stops the CPU profile,
 // writes the heap profile, dumps the metrics registry, and writes the run
 // report with the caller's config and summary blocks attached.
 func (c *CLI) Finish(o *Context, config, summary map[string]any) error {
+	if c.server != nil {
+		if err := c.server.Close(); err != nil {
+			return fmt.Errorf("obs: serve-obs: %w", err)
+		}
+		c.server = nil
+	}
+	if c.TracePath != "" && o != nil {
+		if err := o.WriteTraceFile(c.TracePath); err != nil {
+			return err
+		}
+		o.Log().Info("trace written", "path", c.TracePath,
+			"events", o.Trace().Len(), "dropped", o.Trace().Dropped())
+	}
 	if c.cpuFile != nil {
 		pprof.StopCPUProfile()
 		if err := c.cpuFile.Close(); err != nil {

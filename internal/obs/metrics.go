@@ -192,12 +192,24 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return quantileOf(h.samples, q)
 }
 
+// quantileOf copies and sorts samples, then reads one quantile. Callers
+// needing several quantiles of the same reservoir should sort once and use
+// sortedQuantile (see Snapshot).
 func quantileOf(samples []float64, q float64) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
+	return sortedQuantile(s, q)
+}
+
+// sortedQuantile reads the nearest-rank q-quantile from already-sorted
+// samples, 0 when empty.
+func sortedQuantile(s []float64, q float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
 	idx := int(q*float64(len(s)-1) + 0.5)
 	if idx < 0 {
 		idx = 0
@@ -250,17 +262,20 @@ func (r *Registry) Snapshot() *Snapshot {
 	if len(r.hists) > 0 {
 		s.Histograms = make(map[string]HistogramSummary, len(r.hists))
 		for k, h := range r.hists {
+			// Copy the reservoir under the lock, but sort it (once — every
+			// quantile reads the same sorted copy) outside, so concurrent
+			// Observe calls are not blocked behind the O(n log n) work.
 			h.mu.Lock()
-			sum := HistogramSummary{
-				Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
-				P50: quantileOf(h.samples, 0.50),
-				P90: quantileOf(h.samples, 0.90),
-				P99: quantileOf(h.samples, 0.99),
-			}
-			if h.count > 0 {
-				sum.Mean = h.sum / float64(h.count)
-			}
+			sum := HistogramSummary{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+			sorted := append([]float64(nil), h.samples...)
 			h.mu.Unlock()
+			sort.Float64s(sorted)
+			sum.P50 = sortedQuantile(sorted, 0.50)
+			sum.P90 = sortedQuantile(sorted, 0.90)
+			sum.P99 = sortedQuantile(sorted, 0.99)
+			if sum.Count > 0 {
+				sum.Mean = sum.Sum / float64(sum.Count)
+			}
 			s.Histograms[k] = sum
 		}
 	}

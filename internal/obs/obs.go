@@ -14,19 +14,25 @@ import (
 	"context"
 	"log/slog"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Context carries the observability state of one run: the logger, the span
-// tree, and the metrics registry. A nil *Context disables everything.
+// tree, the metrics registry, and — when enabled — the trace recorder,
+// progress trackers, and live telemetry server. A nil *Context disables
+// everything.
 type Context struct {
 	command string
 	log     *slog.Logger
 	reg     *Registry
 	started time.Time
+	procSeq atomic.Int32
 
-	mu    sync.Mutex
-	roots []*Span
+	mu       sync.Mutex
+	roots    []*Span
+	trace    *TraceRecorder
+	progress []*Progress
 }
 
 // Options configures a Context.
@@ -92,6 +98,31 @@ func (o *Context) BeginUnder(parent *Span, name string, attrs ...Attr) *Span {
 		return parent.Begin(name, attrs...)
 	}
 	return o.Begin(name, attrs...)
+}
+
+// nextProc hands out the trace "process" ID of a new root span.
+func (o *Context) nextProc() int32 {
+	if o == nil {
+		return 0
+	}
+	return o.procSeq.Add(1)
+}
+
+// SpansReport snapshots every root span subtree, including spans still
+// running (reported with their elapsed time so far). It is safe while spans
+// begin and end concurrently; the live /spans endpoint serves it.
+func (o *Context) SpansReport() []*SpanReport {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	roots := append([]*Span(nil), o.roots...)
+	o.mu.Unlock()
+	out := make([]*SpanReport, 0, len(roots))
+	for _, s := range roots {
+		out = append(out, s.report())
+	}
+	return out
 }
 
 // nopLogger discards records at the handler level, before formatting.

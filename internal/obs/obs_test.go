@@ -6,6 +6,7 @@ import (
 	"flag"
 	"log/slog"
 	"math"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -264,6 +265,62 @@ func TestCLISetupAndFinish(t *testing.T) {
 		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
 			t.Errorf("profile %s missing or empty", p)
 		}
+	}
+}
+
+// TestCLIServeObsAndTrace wires the shared -serve-obs and -trace flags end
+// to end: Setup must enable the context, start the server, and attach the
+// recorder; Finish must shut the server down and write the trace file.
+func TestCLIServeObsAndTrace(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+
+	var cli CLI
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	cli.Register(fs)
+	if err := fs.Parse([]string{"-serve-obs", "127.0.0.1:0", "-trace", tracePath}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := cli.Setup("clitest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o == nil {
+		t.Fatal("-serve-obs/-trace must enable the context")
+	}
+	if o.Trace() == nil {
+		t.Fatal("-trace did not attach a recorder")
+	}
+	addr := cli.ServerAddr()
+	if addr == "" {
+		t.Fatal("-serve-obs did not start a server")
+	}
+	o.Begin("work").End()
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("live server unreachable: %v", err)
+	}
+	resp.Body.Close()
+
+	if err := cli.Finish(o, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cli.ServerAddr() != "" {
+		t.Error("server still registered after Finish")
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Error("server still serving after Finish")
+	}
+	b, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace file invalid: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("trace file has no events")
 	}
 }
 

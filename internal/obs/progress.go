@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks one bounded unit of work — targets attacked, configs
+// swept, experiments run — and exports its state as gauges
+// ("progress.<name>.done", ".total", ".rate_per_s", ".eta_s") so /metrics
+// and /progress show how far along a run is and when it will finish.
+// Add is a few atomic operations; call it per work unit, not per pair.
+// All methods are nil-safe: a Progress from a nil *Context no-ops.
+type Progress struct {
+	name     string
+	start    time.Time
+	total    atomic.Int64
+	done     atomic.Int64
+	finished atomic.Bool
+
+	doneG, totalG, rateG, etaG *Gauge
+}
+
+// NewProgress registers a progress tracker for total units of work under
+// name. Names should be unique among trackers alive at the same time —
+// concurrent trackers sharing a name each appear in /progress, but
+// last-writer-wins on the shared gauges. A nil context returns nil.
+func (o *Context) NewProgress(name string, total int64) *Progress {
+	if o == nil {
+		return nil
+	}
+	p := &Progress{
+		name:   name,
+		start:  time.Now(),
+		doneG:  o.reg.Gauge("progress." + name + ".done"),
+		totalG: o.reg.Gauge("progress." + name + ".total"),
+		rateG:  o.reg.Gauge("progress." + name + ".rate_per_s"),
+		etaG:   o.reg.Gauge("progress." + name + ".eta_s"),
+	}
+	p.total.Store(total)
+	p.totalG.Set(float64(total))
+	p.doneG.Set(0)
+	o.mu.Lock()
+	o.progress = append(o.progress, p)
+	o.mu.Unlock()
+	return p
+}
+
+// Add records n completed units and refreshes the exported gauges.
+func (p *Progress) Add(n int64) {
+	if p == nil {
+		return
+	}
+	done := p.done.Add(n)
+	p.doneG.Set(float64(done))
+	elapsed := time.Since(p.start).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	rate := float64(done) / elapsed
+	p.rateG.Set(rate)
+	if total := p.total.Load(); total > done && rate > 0 {
+		p.etaG.Set(float64(total-done) / rate)
+	} else {
+		p.etaG.Set(0)
+	}
+}
+
+// Finish marks the tracker complete and zeroes its ETA. Further Adds still
+// count but the tracker reports finished.
+func (p *Progress) Finish() {
+	if p == nil {
+		return
+	}
+	p.finished.Store(true)
+	p.etaG.Set(0)
+}
+
+// Done returns the completed unit count.
+func (p *Progress) Done() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.done.Load()
+}
+
+// ProgressStatus is the JSON snapshot of one tracker, served by /progress.
+type ProgressStatus struct {
+	Name     string  `json:"name"`
+	Done     int64   `json:"done"`
+	Total    int64   `json:"total"`
+	Frac     float64 `json:"frac"`
+	RatePerS float64 `json:"rate_per_s"`
+	// EtaS estimates the seconds remaining at the observed rate; 0 when
+	// done, finished, or no units have completed yet.
+	EtaS     float64 `json:"eta_s"`
+	ElapsedS float64 `json:"elapsed_s"`
+	Finished bool    `json:"finished"`
+}
+
+// status snapshots the tracker.
+func (p *Progress) status() ProgressStatus {
+	done := p.done.Load()
+	total := p.total.Load()
+	elapsed := time.Since(p.start).Seconds()
+	st := ProgressStatus{
+		Name: p.name, Done: done, Total: total,
+		ElapsedS: elapsed, Finished: p.finished.Load(),
+	}
+	if total > 0 {
+		st.Frac = float64(done) / float64(total)
+	}
+	if elapsed > 0 && done > 0 {
+		st.RatePerS = float64(done) / elapsed
+		if !st.Finished && total > done {
+			st.EtaS = float64(total-done) / st.RatePerS
+		}
+	}
+	return st
+}
+
+// ProgressStatuses snapshots every registered tracker in registration
+// order; nil context yields nil.
+func (o *Context) ProgressStatuses() []ProgressStatus {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	trackers := append([]*Progress(nil), o.progress...)
+	o.mu.Unlock()
+	out := make([]ProgressStatus, 0, len(trackers))
+	for _, p := range trackers {
+		out = append(out, p.status())
+	}
+	return out
+}

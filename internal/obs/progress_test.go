@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestProgressGaugesAndStatus(t *testing.T) {
+	o := New(Options{Command: "test"})
+	p := o.NewProgress("attack.Imp-11.L6", 10)
+	if p == nil {
+		t.Fatal("NewProgress returned nil on an enabled context")
+	}
+	// Backdate the start so rate and ETA are well defined and positive.
+	p.start = time.Now().Add(-2 * time.Second)
+	p.Add(1)
+	p.Add(3)
+	if p.Done() != 4 {
+		t.Errorf("Done = %d, want 4", p.Done())
+	}
+
+	g := o.Metrics().Snapshot().Gauges
+	if g["progress.attack.Imp-11.L6.done"] != 4 {
+		t.Errorf("done gauge = %g, want 4", g["progress.attack.Imp-11.L6.done"])
+	}
+	if g["progress.attack.Imp-11.L6.total"] != 10 {
+		t.Errorf("total gauge = %g, want 10", g["progress.attack.Imp-11.L6.total"])
+	}
+	if g["progress.attack.Imp-11.L6.rate_per_s"] <= 0 {
+		t.Errorf("rate gauge = %g, want > 0", g["progress.attack.Imp-11.L6.rate_per_s"])
+	}
+	if g["progress.attack.Imp-11.L6.eta_s"] <= 0 {
+		t.Errorf("eta gauge = %g, want > 0", g["progress.attack.Imp-11.L6.eta_s"])
+	}
+
+	sts := o.ProgressStatuses()
+	if len(sts) != 1 {
+		t.Fatalf("got %d statuses, want 1", len(sts))
+	}
+	st := sts[0]
+	if st.Name != "attack.Imp-11.L6" || st.Done != 4 || st.Total != 10 {
+		t.Errorf("status = %+v", st)
+	}
+	if st.Frac != 0.4 {
+		t.Errorf("frac = %g, want 0.4", st.Frac)
+	}
+	if st.RatePerS <= 0 || st.EtaS <= 0 || st.ElapsedS <= 0 {
+		t.Errorf("rate/eta/elapsed = %g/%g/%g, want all > 0", st.RatePerS, st.EtaS, st.ElapsedS)
+	}
+	if st.Finished {
+		t.Error("tracker reports finished before Finish")
+	}
+
+	p.Finish()
+	st = o.ProgressStatuses()[0]
+	if !st.Finished || st.EtaS != 0 {
+		t.Errorf("after Finish: finished=%v eta=%g, want true/0", st.Finished, st.EtaS)
+	}
+	if v := o.Metrics().Snapshot().Gauges["progress.attack.Imp-11.L6.eta_s"]; v != 0 {
+		t.Errorf("eta gauge after Finish = %g, want 0", v)
+	}
+}
+
+func TestProgressCompletionZeroesEta(t *testing.T) {
+	o := New(Options{Command: "test"})
+	p := o.NewProgress("sweep", 2)
+	p.start = time.Now().Add(-time.Second)
+	p.Add(2)
+	if v := o.Metrics().Snapshot().Gauges["progress.sweep.eta_s"]; v != 0 {
+		t.Errorf("eta at done==total = %g, want 0", v)
+	}
+	st := o.ProgressStatuses()[0]
+	if st.EtaS != 0 || st.Frac != 1 {
+		t.Errorf("status at completion = %+v", st)
+	}
+}
+
+func TestProgressMultipleTrackersInOrder(t *testing.T) {
+	o := New(Options{Command: "test"})
+	o.NewProgress("first", 1)
+	o.NewProgress("second", 2)
+	sts := o.ProgressStatuses()
+	if len(sts) != 2 || sts[0].Name != "first" || sts[1].Name != "second" {
+		t.Errorf("statuses out of order: %+v", sts)
+	}
+}
+
+func TestProgressNilSafe(t *testing.T) {
+	var o *Context
+	p := o.NewProgress("x", 5)
+	if p != nil {
+		t.Fatal("nil context produced a tracker")
+	}
+	p.Add(1)
+	p.Finish()
+	if p.Done() != 0 {
+		t.Error("nil tracker has state")
+	}
+	if o.ProgressStatuses() != nil {
+		t.Error("nil context has statuses")
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as summaries with p50/p90/p99 quantile samples plus _sum/_count, and the
+// reservoir min/max as companion gauges. Instrument names are sanitized
+// (dots and other illegal runes become underscores) and families are
+// emitted in sorted name order, so the output is stable for golden tests
+// and diffing. A nil snapshot writes nothing.
+func (s *Snapshot) WritePrometheus(w io.Writer) {
+	if s == nil {
+		return
+	}
+	for _, k := range sortedKeys(s.Counters) {
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", name, name, promFloat(s.Gauges[k]))
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		name := promName(k)
+		fmt.Fprintf(w, "# TYPE %s summary\n", name)
+		fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", name, promFloat(h.P50))
+		fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", name, promFloat(h.P90))
+		fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", name, promFloat(h.P99))
+		fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+		fmt.Fprintf(w, "# TYPE %s_min gauge\n%s_min %s\n", name, name, promFloat(h.Min))
+		fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max %s\n", name, name, promFloat(h.Max))
+	}
+}
+
+// promName maps a dotted instrument name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], replacing every other rune (and a leading digit)
+// with '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float sample the way Prometheus expects: shortest
+// round-trip representation, with IEEE specials spelled +Inf/-Inf/NaN.
+func promFloat(v float64) string {
+	switch {
+	case v != v:
+		return "NaN"
+	case v > 1.7976931348623157e308:
+		return "+Inf"
+	case v < -1.7976931348623157e308:
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

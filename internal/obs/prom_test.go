@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestWritePrometheusGolden pins the text exposition output byte for byte:
+// families sorted by name, counters and gauges as single samples, histograms
+// as summaries with quantile labels plus _sum/_count and _min/_max gauges.
+// Regenerate with `go test -run PrometheusGolden -update ./internal/obs/`.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("attack.targets").Add(12)
+	r.Counter("suite.cache.hit").Add(3)
+	r.Gauge("progress.attack.done").Set(7)
+	r.Gauge("progress.attack.rate_per_s").Set(2.5)
+	h := r.Histogram("pair.score_ms")
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+
+	var buf bytes.Buffer
+	r.Snapshot().WritePrometheus(&buf)
+
+	golden := filepath.Join("testdata", "metrics.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition differs from golden; rerun with -update if intentional\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+func TestWritePrometheusNilSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	(*Snapshot)(nil).WritePrometheus(&buf)
+	if buf.Len() != 0 {
+		t.Errorf("nil snapshot wrote %q", buf.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"attack.targets":        "attack_targets",
+		"progress.a-b.eta_s":    "progress_a_b_eta_s",
+		"legal_name:ok":         "legal_name:ok",
+		"9starts.with.digit":    "_starts_with_digit",
+		"mid9digit":             "mid9digit",
+		"spaß":                  "spa_",
+		"progress.sweep.pa.L6.": "progress_sweep_pa_L6_",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromFloat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{2.5, "2.5"},
+		{0, "0"},
+		{-1e300, "-1e+300"},
+		{math.NaN(), "NaN"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+	}
+	for _, tc := range cases {
+		if got := promFloat(tc.v); got != tc.want {
+			t.Errorf("promFloat(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestMetricsEndpointRoundTrip checks the exposition a live server returns
+// parses as the documented families (a smoke test that the content a
+// Prometheus scraper sees matches the snapshot).
+func TestPrometheusHasAllFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(1)
+	r.Histogram("h").Observe(3)
+	var buf bytes.Buffer
+	r.Snapshot().WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE c counter\nc 1\n",
+		"# TYPE g gauge\ng 1\n",
+		"# TYPE h summary\n",
+		`h{quantile="0.5"} 3`,
+		"h_sum 3\nh_count 1\n",
+		"# TYPE h_min gauge\nh_min 3\n",
+		"# TYPE h_max gauge\nh_max 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

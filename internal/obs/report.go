@@ -14,9 +14,12 @@ import (
 
 // SpanReport is the JSON form of one span subtree.
 type SpanReport struct {
-	Name     string           `json:"name"`
-	DurNS    int64            `json:"dur_ns"`
-	Dur      string           `json:"dur"`
+	Name  string `json:"name"`
+	DurNS int64  `json:"dur_ns"`
+	Dur   string `json:"dur"`
+	// Running marks a span that had not ended when the report was taken
+	// (live /spans serving); its durations are elapsed-so-far.
+	Running  bool             `json:"running,omitempty"`
 	Attrs    map[string]any   `json:"attrs,omitempty"`
 	Counters map[string]int64 `json:"counters,omitempty"`
 	Children []*SpanReport    `json:"children,omitempty"`

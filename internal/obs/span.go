@@ -24,6 +24,9 @@ type Span struct {
 	path  string // "/"-joined ancestry, for logs
 	name  string
 	start time.Time
+	// proc groups the span under its root span in trace exports: every
+	// root span is one trace "process", inherited by all descendants.
+	proc int32
 
 	mu       sync.Mutex
 	attrs    []Attr
@@ -31,14 +34,56 @@ type Span struct {
 	children []*Span
 	dur      time.Duration
 	ended    bool
+	// track is the span's worker lane in trace exports: 1+worker when a
+	// "worker" attribute is present, else inherited from the parent (0 at
+	// the root).
+	track int32
 }
 
 func newSpan(o *Context, parent *Span, name string, attrs []Attr) *Span {
 	path := name
+	var proc, track int32
 	if parent != nil {
 		path = parent.path + "/" + name
+		proc = parent.proc
+		track = parent.trackID()
+	} else {
+		proc = o.nextProc()
 	}
-	return &Span{o: o, path: path, name: name, start: time.Now(), attrs: attrs}
+	s := &Span{o: o, path: path, name: name, start: time.Now(),
+		proc: proc, track: track, attrs: attrs}
+	for _, a := range attrs {
+		if a.Key == "worker" {
+			if t, ok := workerTrack(a.Value); ok {
+				s.track = t
+			}
+		}
+	}
+	o.Trace().beginSpan(s, parent == nil)
+	return s
+}
+
+// trackID returns the span's trace track under its own lock.
+func (s *Span) trackID() int32 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.track
+}
+
+// workerTrack maps a "worker" attribute value to a 1-based track ID.
+func workerTrack(v any) (int32, bool) {
+	switch w := v.(type) {
+	case int:
+		return int32(w) + 1, true
+	case int32:
+		return w + 1, true
+	case int64:
+		return int32(w) + 1, true
+	}
+	return 0, false
 }
 
 // Begin starts a child span.
@@ -61,6 +106,11 @@ func (s *Span) SetAttr(key string, value any) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if key == "worker" {
+		if t, ok := workerTrack(value); ok {
+			s.track = t
+		}
+	}
 	for i := range s.attrs {
 		if s.attrs[i].Key == key {
 			s.attrs[i].Value = value
@@ -89,21 +139,37 @@ func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
+	tr := s.o.Trace()
 	s.mu.Lock()
-	if !s.ended {
+	first := !s.ended
+	if first {
 		s.ended = true
 		s.dur = time.Since(s.start)
 	}
 	d := s.dur
 	args := make([]any, 0, 2+2*len(s.attrs)+2*len(s.counters))
 	args = append(args, "dur", d)
+	var attrs []Attr
+	var counters map[string]int64
+	if first && tr != nil {
+		attrs = append([]Attr(nil), s.attrs...)
+		if len(s.counters) > 0 {
+			counters = make(map[string]int64, len(s.counters))
+		}
+	}
 	for _, a := range s.attrs {
 		args = append(args, a.Key, a.Value)
 	}
 	for k, v := range s.counters {
 		args = append(args, k, v)
+		if counters != nil {
+			counters[k] = v
+		}
 	}
 	s.mu.Unlock()
+	if first && tr != nil {
+		tr.endSpan(s, s.start.Add(d), attrs, counters)
+	}
 	s.o.Log().Info("span "+s.path, args...)
 	return d
 }
@@ -135,14 +201,22 @@ func (s *Span) logBegin() {
 	log.Debug("begin "+s.path, args...)
 }
 
-// report snapshots the span subtree.
+// report snapshots the span subtree. It is safe concurrently with Begin,
+// SetAttr, Count, and End, so the live /spans endpoint can serve it while a
+// run executes; spans still running report their elapsed time so far and
+// Running=true.
 func (s *Span) report() *SpanReport {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	dur := s.dur
+	if !s.ended {
+		dur = time.Since(s.start)
+	}
 	r := &SpanReport{
-		Name:  s.name,
-		DurNS: int64(s.dur),
-		Dur:   s.dur.String(),
+		Name:    s.name,
+		DurNS:   int64(dur),
+		Dur:     dur.String(),
+		Running: !s.ended,
 	}
 	if len(s.attrs) > 0 {
 		r.Attrs = make(map[string]any, len(s.attrs))

@@ -1,0 +1,248 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTraceEvents bounds the in-memory trace recorder: once this many
+// events are buffered, further events are counted as dropped instead of
+// growing the heap, so tracing a long run cannot exhaust memory.
+const DefaultTraceEvents = 1 << 16
+
+// traceEvent is one Chrome trace-event ("Trace Event Format") record.
+// Timestamps are microseconds since the recorder started; pid groups the
+// events of one root span (one run), tid is the worker track within it.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	PID  int32          `json:"pid"`
+	TID  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceRecorder accumulates span begin/end events into a bounded buffer and
+// writes them as Chrome trace-event JSON loadable by Perfetto
+// (ui.perfetto.dev) and chrome://tracing. Each root span becomes a trace
+// "process" and each worker a "thread" track inside it, so the parallel
+// timeline of a leave-one-out attack is directly inspectable. All methods
+// are nil-safe and safe for concurrent use.
+type TraceRecorder struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  []traceEvent
+	cap     int
+	dropped int64
+	procs   map[int32]string // pid -> root span name, for metadata
+}
+
+// EnableTrace attaches a trace recorder buffering up to capacity events
+// (<= 0 selects DefaultTraceEvents) and returns it. It must be called
+// before the spans of interest begin; a nil context returns nil. Tracing
+// records only span begin/end — it never perturbs the run's randomness or
+// results.
+func (o *Context) EnableTrace(capacity int) *TraceRecorder {
+	if o == nil {
+		return nil
+	}
+	if capacity <= 0 {
+		capacity = DefaultTraceEvents
+	}
+	r := &TraceRecorder{start: time.Now(), cap: capacity, procs: map[int32]string{}}
+	o.mu.Lock()
+	o.trace = r
+	o.mu.Unlock()
+	return r
+}
+
+// Trace returns the context's trace recorder, nil when tracing is off.
+func (o *Context) Trace() *TraceRecorder {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.trace
+}
+
+// ts converts an absolute time to trace microseconds (clamped at 0 for
+// spans that began before the recorder).
+func (r *TraceRecorder) ts(t time.Time) float64 {
+	us := float64(t.Sub(r.start)) / float64(time.Microsecond)
+	if us < 0 {
+		us = 0
+	}
+	return us
+}
+
+// emit appends one event, or counts it as dropped when the buffer is full.
+func (r *TraceRecorder) emit(ph, name string, pid, tid int32, t time.Time, args map[string]any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) >= r.cap {
+		r.dropped++
+		return
+	}
+	r.events = append(r.events, traceEvent{
+		Name: name, Ph: ph, TS: r.ts(t), PID: pid, TID: tid, Args: args,
+	})
+}
+
+// beginSpan records the B event of a span; root spans also name their
+// process track.
+func (r *TraceRecorder) beginSpan(s *Span, isRoot bool) {
+	if r == nil {
+		return
+	}
+	if isRoot {
+		r.mu.Lock()
+		if _, ok := r.procs[s.proc]; !ok {
+			r.procs[s.proc] = s.name
+		}
+		r.mu.Unlock()
+	}
+	r.emit("B", s.name, s.proc, s.trackID(), s.start, nil)
+}
+
+// endSpan records the E event of a span with its final attributes and
+// counters as args.
+func (r *TraceRecorder) endSpan(s *Span, end time.Time, attrs []Attr, counters map[string]int64) {
+	if r == nil {
+		return
+	}
+	var args map[string]any
+	if len(attrs)+len(counters) > 0 {
+		args = make(map[string]any, len(attrs)+len(counters))
+		for _, a := range attrs {
+			args[a.Key] = a.Value
+		}
+		for k, v := range counters {
+			args[k] = v
+		}
+	}
+	r.emit("E", s.name, s.proc, s.trackID(), end, args)
+}
+
+// Dropped returns how many events did not fit in the buffer.
+func (r *TraceRecorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns the number of buffered events.
+func (r *TraceRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// WriteJSON writes the buffered events as a Chrome trace-event JSON object,
+// prepending process/thread metadata so Perfetto labels each run and worker
+// track. The recorder stays usable afterwards.
+func (r *TraceRecorder) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	events := append([]traceEvent(nil), r.events...)
+	dropped := r.dropped
+	procs := make(map[int32]string, len(r.procs))
+	for k, v := range r.procs {
+		procs[k] = v
+	}
+	r.mu.Unlock()
+
+	meta := metadataEvents(events, procs)
+	doc := struct {
+		TraceEvents     []traceEvent   `json:"traceEvents"`
+		DisplayTimeUnit string         `json:"displayTimeUnit"`
+		OtherData       map[string]any `json:"otherData,omitempty"`
+	}{
+		TraceEvents:     append(meta, events...),
+		DisplayTimeUnit: "ms",
+	}
+	if dropped > 0 {
+		doc.OtherData = map[string]any{"dropped_events": dropped}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteTraceFile writes the context's recorded trace to path; it is a no-op
+// without a recorder.
+func (o *Context) WriteTraceFile(path string) error {
+	r := o.Trace()
+	if r == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: trace: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: trace: %w", err)
+	}
+	return f.Close()
+}
+
+// metadataEvents builds the process_name/thread_name metadata records for
+// every (pid, tid) track present in events, in sorted order.
+func metadataEvents(events []traceEvent, procs map[int32]string) []traceEvent {
+	type track struct{ pid, tid int32 }
+	seen := map[track]bool{}
+	for _, e := range events {
+		seen[track{e.PID, e.TID}] = true
+	}
+	tracks := make([]track, 0, len(seen))
+	for tr := range seen {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	var meta []traceEvent
+	lastPID := int32(-1)
+	for _, tr := range tracks {
+		if tr.pid != lastPID {
+			lastPID = tr.pid
+			name := procs[tr.pid]
+			if name == "" {
+				name = fmt.Sprintf("run %d", tr.pid)
+			}
+			meta = append(meta, traceEvent{
+				Name: "process_name", Ph: "M", PID: tr.pid, TID: 0,
+				Args: map[string]any{"name": name},
+			})
+		}
+		tname := "main"
+		if tr.tid > 0 {
+			tname = fmt.Sprintf("worker %d", tr.tid-1)
+		}
+		meta = append(meta, traceEvent{
+			Name: "thread_name", Ph: "M", PID: tr.pid, TID: tr.tid,
+			Args: map[string]any{"name": tname},
+		})
+	}
+	return meta
+}

@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// traceDoc mirrors the Chrome trace JSON for decoding in tests.
+type traceDoc struct {
+	TraceEvents     []traceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData"`
+}
+
+// TestTraceGolden pins the Chrome trace JSON byte for byte using a recorder
+// fed with fixed timestamps, so any format drift (field names, metadata
+// records, ordering, indentation) fails here. Regenerate with
+// `go test -run TraceGolden -update ./internal/obs/`.
+func TestTraceGolden(t *testing.T) {
+	t0 := time.Date(2024, 1, 2, 3, 4, 5, 0, time.UTC)
+	r := &TraceRecorder{start: t0, cap: 16, procs: map[int32]string{1: "attack"}}
+	r.emit("B", "attack", 1, 0, t0, nil)
+	r.emit("B", "target", 1, 1, t0.Add(100*time.Microsecond), nil)
+	r.emit("E", "target", 1, 1, t0.Add(1500*time.Microsecond),
+		map[string]any{"design": "sb1", "pairs": int64(42), "worker": 0})
+	r.emit("B", "target", 1, 2, t0.Add(200*time.Microsecond), nil)
+	r.emit("E", "target", 1, 2, t0.Add(1800*time.Microsecond), nil)
+	r.emit("E", "attack", 1, 0, t0.Add(2*time.Millisecond), nil)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace JSON differs from golden; rerun with -update if intentional\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestTraceEndToEnd drives real spans through a traced context and checks
+// the exported structure without pinning timestamps: balanced B/E events,
+// worker attributes mapped to thread tracks, root spans mapped to separate
+// processes, and metadata naming every track.
+func TestTraceEndToEnd(t *testing.T) {
+	o := New(Options{Command: "test"})
+	rec := o.EnableTrace(0)
+	if rec == nil || o.Trace() != rec {
+		t.Fatal("EnableTrace did not attach the recorder")
+	}
+
+	root := o.Begin("attack", F("cfg", "Imp-11"))
+	w0 := root.Begin("target", F("worker", 0), F("design", "sb1"))
+	w0.Begin("train").End()
+	w0.Count("pairs", 42)
+	w0.End()
+	w1 := root.Begin("target", F("worker", 1))
+	w1.End()
+	root.End()
+	second := o.Begin("report")
+	second.End()
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	begins, ends := 0, 0
+	procs := map[int32]bool{}
+	threadNames := map[[2]int32]string{}
+	processNames := map[int32]string{}
+	var trainTID, w0TID int32 = -1, -1
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "B":
+			begins++
+			procs[e.PID] = true
+			if e.Name == "train" {
+				trainTID = e.TID
+			}
+		case "E":
+			ends++
+			if e.Name == "target" && e.Args["worker"] == float64(0) {
+				w0TID = e.TID
+				if e.Args["pairs"] != float64(42) {
+					t.Errorf("span counter missing from E args: %v", e.Args)
+				}
+				if e.Args["design"] != "sb1" {
+					t.Errorf("span attr missing from E args: %v", e.Args)
+				}
+			}
+		case "M":
+			switch e.Name {
+			case "thread_name":
+				threadNames[[2]int32{e.PID, e.TID}] = e.Args["name"].(string)
+			case "process_name":
+				processNames[e.PID] = e.Args["name"].(string)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	if begins != 5 || ends != 5 {
+		t.Errorf("B/E counts = %d/%d, want 5/5", begins, ends)
+	}
+	if len(procs) != 2 {
+		t.Errorf("root spans map to %d processes, want 2", len(procs))
+	}
+	// worker 0 lands on track 1, and its child span inherits the track.
+	if w0TID != 1 {
+		t.Errorf("worker-0 span on tid %d, want 1", w0TID)
+	}
+	if trainTID != w0TID {
+		t.Errorf("child span tid %d, parent %d — track not inherited", trainTID, w0TID)
+	}
+	if got := threadNames[[2]int32{1, 1}]; got != "worker 0" {
+		t.Errorf("thread name for tid 1 = %q, want \"worker 0\"", got)
+	}
+	if got := threadNames[[2]int32{1, 0}]; got != "main" {
+		t.Errorf("thread name for tid 0 = %q, want \"main\"", got)
+	}
+	if got := processNames[1]; got != "attack" {
+		t.Errorf("process 1 named %q, want \"attack\"", got)
+	}
+	if got := processNames[2]; got != "report" {
+		t.Errorf("process 2 named %q, want \"report\"", got)
+	}
+}
+
+// TestTraceBounded verifies the recorder stops growing at its capacity and
+// reports what it dropped, both via Dropped and in the exported JSON.
+func TestTraceBounded(t *testing.T) {
+	o := New(Options{Command: "test"})
+	rec := o.EnableTrace(4)
+	for i := 0; i < 10; i++ {
+		o.Begin("s").End() // B + E each
+	}
+	if rec.Len() != 4 {
+		t.Errorf("Len = %d, want capacity 4", rec.Len())
+	}
+	if rec.Dropped() != 16 {
+		t.Errorf("Dropped = %d, want 16", rec.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.OtherData["dropped_events"] != float64(16) {
+		t.Errorf("otherData.dropped_events = %v, want 16", doc.OtherData["dropped_events"])
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var o *Context
+	if o.EnableTrace(0) != nil || o.Trace() != nil {
+		t.Error("nil context produced a recorder")
+	}
+	if err := o.WriteTraceFile(filepath.Join(t.TempDir(), "t.json")); err != nil {
+		t.Errorf("nil WriteTraceFile: %v", err)
+	}
+	var r *TraceRecorder
+	r.emit("B", "x", 0, 0, time.Now(), nil)
+	r.beginSpan(nil, false)
+	r.endSpan(nil, time.Now(), nil, nil)
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Error("nil recorder has state")
+	}
+	if err := r.WriteJSON(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil WriteJSON: %v", err)
+	}
+	// A traced context without a recorder must also no-op.
+	o2 := New(Options{Command: "x"})
+	o2.Begin("s").End()
+	if err := o2.WriteTraceFile(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Errorf("recorder-less WriteTraceFile: %v", err)
+	}
+}
+
+// TestWriteTraceFile exercises the file path end to end: the written file
+// must be valid, Perfetto-shaped JSON.
+func TestWriteTraceFile(t *testing.T) {
+	o := New(Options{Command: "test"})
+	o.EnableTrace(0)
+	sp := o.Begin("run")
+	sp.Begin("phase").End()
+	sp.End()
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := o.WriteTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("trace file invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file has no events")
+	}
+}
+
+// TestTraceSpanBeforeEnable covers spans that began before EnableTrace: they
+// emit no B event, but ending them after enabling must not panic and their
+// E timestamp clamps at 0 rather than going negative.
+func TestTraceSpanBeforeEnable(t *testing.T) {
+	o := New(Options{Command: "test"})
+	sp := o.Begin("early")
+	rec := o.EnableTrace(0)
+	rec.start = time.Now().Add(time.Hour) // force a pre-recorder end time
+	sp.End()
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range doc.TraceEvents {
+		if e.TS < 0 {
+			t.Errorf("negative timestamp %g on %s %s", e.TS, e.Ph, e.Name)
+		}
+	}
+}
