@@ -81,7 +81,7 @@ func prepare(fsName string, args []string, addFlags func(*flag.FlagSet)) *sessio
 	}
 	o := app.Parse(args)
 
-	cfg, ok := configByName(*config)
+	cfg, ok := attack.ConfigByName(*config)
 	if !ok {
 		cli.Usage("unknown config %q", *config)
 	}
@@ -91,6 +91,10 @@ func prepare(fsName string, args []string, addFlags func(*flag.FlagSet)) *sessio
 	cfg.Seed = app.Seed
 	cfg.Workers = app.Workers()
 	cfg.Obs = o
+	// The artifact store makes repeated invocations warm when
+	// -model-cache-dir points at a persistent directory; a memory-only
+	// store is free for the single-target run.
+	cfg.Models = app.ModelStore()
 
 	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{
 		Scale: app.Scale, Seed: app.Seed, Workers: app.Workers()})
@@ -283,14 +287,4 @@ func runAttack(args []string) {
 		configMap["model"] = *modelPath
 	}
 	s.app.Finish(o, configMap, summary)
-}
-
-func configByName(name string) (attack.Config, bool) {
-	all := append(attack.StandardConfigs(), attack.StandardConfigsY()...)
-	for _, c := range all {
-		if c.Name == name {
-			return c, true
-		}
-	}
-	return attack.Config{}, false
 }

@@ -239,6 +239,19 @@ func StandardConfigs() []Config {
 	return []Config{ML9(), Imp9(), Imp7(), Imp11()}
 }
 
+// ConfigByName resolves a standard configuration by its report name
+// ("ML-9", "Imp-11", "Imp-7Y", ...), covering StandardConfigs and their
+// "Y" variants. Commands and the job server accept these names as config
+// presets.
+func ConfigByName(name string) (Config, bool) {
+	for _, c := range append(StandardConfigs(), StandardConfigsY()...) {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}
+
 // StandardConfigsY returns the four "Y" variants evaluated at split layer 8.
 func StandardConfigsY() []Config {
 	return []Config{WithY(ML9()), WithY(Imp9()), WithY(Imp7()), WithY(Imp11())}

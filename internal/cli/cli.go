@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/model"
 	"repro/internal/obs"
 )
 
@@ -35,6 +36,11 @@ type App struct {
 	// Obs is the observability flag bundle (verbose, workers, report,
 	// metrics, profiles, version).
 	Obs obs.CLI
+	// ModelCache and ModelCacheDir are the -model-cache/-model-cache-dir
+	// values after Parse: the in-memory capacity and optional on-disk
+	// directory of the trained-artifact store built by ModelStore.
+	ModelCache    int
+	ModelCacheDir string
 
 	fs *flag.FlagSet
 }
@@ -45,8 +51,21 @@ func New(name string, fs *flag.FlagSet) *App {
 	a := &App{Name: name, fs: fs}
 	fs.Float64Var(&a.Scale, "scale", 1.0, "benchmark suite scale factor")
 	fs.Int64Var(&a.Seed, "seed", 1, "generation and attack seed")
+	fs.IntVar(&a.ModelCache, "model-cache", 0,
+		"in-memory trained-model cache capacity (0 = default)")
+	fs.StringVar(&a.ModelCacheDir, "model-cache-dir", "",
+		"on-disk trained-model cache directory; artifacts persist across runs (empty = memory only)")
 	a.Obs.Register(fs)
 	return a
+}
+
+// ModelStore builds the trained-artifact store implied by the
+// -model-cache/-model-cache-dir flags: an in-memory LRU always, plus the
+// on-disk layer when a directory was given, so repeated runs (and the job
+// server's concurrent requests) train each spec exactly once. Results are
+// bit-identical with or without the store.
+func (a *App) ModelStore() *model.Store {
+	return model.NewStore(a.ModelCache, a.ModelCacheDir)
 }
 
 // Parse parses args, handles -version (print and exit 0), and starts the

@@ -11,9 +11,9 @@ import (
 	"time"
 )
 
-// Handler returns the live telemetry HTTP handler of the context:
+// Mount registers the live telemetry endpoints on a caller-provided mux
+// and returns their paths (for index pages):
 //
-//	/            endpoint index
 //	/healthz     liveness probe ("ok")
 //	/metrics     the metrics registry in Prometheus text exposition format
 //	/progress    JSON snapshots of every Progress tracker
@@ -22,11 +22,11 @@ import (
 //
 // Every endpoint reads point-in-time snapshots of state the run maintains
 // anyway, so serving never perturbs results: no randomness is consumed and
-// no run data is mutated. The handler is also the mount point a job server
-// can graft its own endpoints onto. A nil context serves 503 on everything
-// but /healthz.
-func (o *Context) Handler() http.Handler {
-	mux := http.NewServeMux()
+// no run data is mutated. Mount is how a service (the splitserved job
+// server) grafts telemetry onto its own mux; Handler wraps it with an
+// index for standalone -serve-obs use. A nil context serves 503 on
+// everything but /healthz.
+func (o *Context) Mount(mux *http.ServeMux) []string {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -40,16 +40,24 @@ func (o *Context) Handler() http.Handler {
 		o.Metrics().Snapshot().WritePrometheus(w)
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
-		serveJSON(w, o.ProgressStatuses())
+		ServeJSON(w, o.ProgressStatuses())
 	})
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
-		serveJSON(w, o.SpansReport())
+		ServeJSON(w, o.SpansReport())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return []string{"/healthz", "/metrics", "/progress", "/spans", "/debug/pprof/"}
+}
+
+// Handler returns the standalone live telemetry HTTP handler of the
+// context: every Mount endpoint plus a plain-text index at "/".
+func (o *Context) Handler() http.Handler {
+	mux := http.NewServeMux()
+	endpoints := o.Mount(mux)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -57,14 +65,17 @@ func (o *Context) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "live telemetry endpoints:")
-		for _, ep := range []string{"/healthz", "/metrics", "/progress", "/spans", "/debug/pprof/"} {
+		for _, ep := range endpoints {
 			fmt.Fprintf(w, "  %s\n", ep)
 		}
 	})
 	return mux
 }
 
-func serveJSON(w http.ResponseWriter, v any) {
+// ServeJSON writes v as indented JSON with the right content type; it is
+// the one JSON response path shared by the telemetry endpoints and the job
+// server's API handlers.
+func ServeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// apiError is the error envelope every non-2xx API response carries.
+type apiError struct {
+	Error apiErrorBody `json:"error"`
+}
+
+type apiErrorBody struct {
+	// Code is a stable machine-readable identifier: invalid_spec,
+	// queue_full, unknown_job, not_ready, conflict.
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeError emits the error envelope with the given HTTP status.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(apiError{Error: apiErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}}) //nolint:errcheck
+}
+
+// Handler returns the service's HTTP API on one mux:
+//
+//	GET    /                 endpoint index
+//	POST   /jobs             submit a JobSpec -> 202 + JobStatus
+//	GET    /jobs             list all jobs
+//	GET    /jobs/{id}        one job's status (live progress included)
+//	DELETE /jobs/{id}        cancel a pending or running job
+//	GET    /jobs/{id}/result the Result document of a done job
+//	GET    /designs          the suite design names jobs may target
+//
+// plus the obs telemetry endpoints (/metrics, /progress, /spans, /healthz,
+// /debug/pprof) mounted on the same mux, so one address serves both the
+// API and its observability. See API.md for request/response schemas and
+// curl examples.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	obsEndpoints := s.o.Mount(mux)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /designs", s.handleDesigns)
+	endpoints := append([]string{
+		"POST /jobs", "GET /jobs", "GET /jobs/{id}", "DELETE /jobs/{id}",
+		"GET /jobs/{id}/result", "GET /designs",
+	}, obsEndpoints...)
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "splitserved job API (see API.md):")
+		for _, ep := range endpoints {
+			fmt.Fprintf(w, "  %s\n", ep)
+		}
+	})
+	return mux
+}
+
+// handleSubmit accepts a JobSpec and enqueues it: 202 with the pending
+// job's status, 400 on an invalid spec, 429 with Retry-After when the
+// queue is full.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid_spec", "decode job spec: %v", err)
+		return
+	}
+	job, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "queue_full",
+			"job queue is full (%d pending); retry later", cap(s.queue))
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "invalid_spec", "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	obs.ServeJSON(noStatusWriter{w}, s.Status(job))
+}
+
+// handleList serves every job's status, submission-ordered.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	statuses := make([]JobStatus, len(jobs))
+	for i, job := range jobs {
+		statuses[i] = s.Status(job)
+	}
+	obs.ServeJSON(w, statuses)
+}
+
+// handleStatus serves one job's status.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_job", "no job %q", r.PathValue("id"))
+		return
+	}
+	obs.ServeJSON(w, s.Status(job))
+}
+
+// handleCancel cancels a job: 200 with the (possibly still "running",
+// about to turn cancelled) status, 404 unknown, 409 already terminal.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "unknown_job", "no job %q", r.PathValue("id"))
+		return
+	case errors.Is(err, ErrTerminal):
+		writeError(w, http.StatusConflict, "conflict",
+			"job %s is already %s", job.ID, s.Status(job).State)
+		return
+	}
+	obs.ServeJSON(w, s.Status(job))
+}
+
+// handleResult serves a done job's Result: 200 with the document, 202 with
+// the status while pending/running, 404 unknown, 409 for a job that ended
+// without a result (failed, cancelled, interrupted).
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown_job", "no job %q", r.PathValue("id"))
+		return
+	}
+	st := s.Status(job)
+	switch st.State {
+	case StateDone:
+	case StatePending, StateRunning:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		obs.ServeJSON(noStatusWriter{w}, st)
+		return
+	default:
+		writeError(w, http.StatusConflict, "conflict",
+			"job %s is %s and has no result: %s", job.ID, st.State, st.Error)
+		return
+	}
+	if res, ok := s.Result(job); ok {
+		obs.ServeJSON(w, res)
+		return
+	}
+	// Done before a restart: the document lives only in the state dir.
+	raw, err := s.loadResultRaw(job.ID)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "missing_result",
+			"job %s is done but its result document is gone: %v", job.ID, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(raw) //nolint:errcheck
+}
+
+// handleDesigns lists the design names a job may target at the server's
+// default scale and seed.
+func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
+	obs.ServeJSON(w, suiteDesigns(s.opts.DefaultScale, s.opts.DefaultSeed))
+}
+
+// noStatusWriter suppresses the WriteHeader a JSON helper would issue
+// after the caller already wrote a non-200 status.
+type noStatusWriter struct{ http.ResponseWriter }
+
+func (noStatusWriter) WriteHeader(int) {}

@@ -1,0 +1,430 @@
+// Package serve is the attack-as-a-service layer: a JSON-over-HTTP job
+// server exposing the engine's train / attack / proximity / sweep stages as
+// asynchronous jobs. A client POSTs a JobSpec, receives a job ID, polls the
+// job's status (live obs.Progress snapshots included), and fetches the
+// Result once the job is done — an Evaluation served this way is
+// bit-identical to the same configuration run in-process through
+// attack.RunTarget.
+//
+// # Concurrency contract
+//
+// Jobs run on a bounded worker pool of Options.Pool goroutines; admission
+// is a bounded queue of Options.Queue pending jobs, and a full queue
+// rejects the submission (HTTP 429 with Retry-After) instead of buffering
+// without bound. Each running job owns a context cancelled by DELETE
+// /jobs/{id}: cancellation is observed at stage boundaries (between
+// instance preparation, training, scoring, proximity, and sweep
+// configurations) and frees the worker slot immediately — a computation
+// abandoned mid-stage finishes on its own goroutine and its result is
+// discarded. All jobs share one warm model.Store, so concurrent
+// submissions of the same spec coalesce into exactly one training
+// (singleflight), and one prepared-instance cache per (scale, seed, layer),
+// so the synthetic suite is generated and indexed once per shape. Results
+// are bit-identical at any pool size, queue depth, or submission
+// interleaving: every job's randomness derives from its own spec's seed
+// alone.
+//
+// # Persistence
+//
+// With Options.StateDir set, every job transition is persisted as
+// jobs/<id>.json and every result as results/<id>.json under the
+// directory. A restarted server reloads the directory: terminal jobs keep
+// their states and results, pending jobs are re-enqueued and run again,
+// and jobs that were running when the process died are marked
+// "interrupted" (the client resubmits). Without a state dir the server is
+// memory-only.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/attack"
+	"repro/internal/layout"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/split"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultPool  = 2
+	DefaultQueue = 16
+)
+
+// Options configures a Server.
+type Options struct {
+	// Obs receives the server's logs, metrics, progress trackers, and
+	// spans; its telemetry endpoints are mounted on the server's mux. Nil
+	// creates a fresh enabled context.
+	Obs *obs.Context
+	// Store is the shared trained-artifact cache; nil creates a
+	// memory-only store. Concurrent same-spec jobs coalesce on it.
+	Store *model.Store
+	// Workers bounds the engine goroutines of each job (0 = GOMAXPROCS).
+	// With Pool > 1 concurrently running jobs the pools add up; size
+	// Workers accordingly.
+	Workers int
+	// Pool is the number of concurrently running jobs (0 = DefaultPool).
+	Pool int
+	// Queue bounds the pending-job queue (0 = DefaultQueue); submissions
+	// beyond it are rejected with ErrQueueFull.
+	Queue int
+	// StateDir enables job persistence (see the package doc); empty runs
+	// memory-only.
+	StateDir string
+	// DefaultScale and DefaultSeed fill job specs that omit scale or seed
+	// (0 selects 1.0 and 1).
+	DefaultScale float64
+	DefaultSeed  int64
+
+	// runner replaces the job execution function in tests.
+	runner func(ctx context.Context, s *Server, job *Job) (*Result, error)
+}
+
+// ErrQueueFull is returned by Submit when the pending queue is at
+// capacity; the HTTP layer maps it to 429 Too Many Requests.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// Server is the job service: a bounded worker pool over a registry of
+// jobs, a shared artifact store, and a prepared-instance cache. Create
+// with New, expose with Handler, stop with Close.
+type Server struct {
+	opts  Options
+	o     *obs.Context
+	store *model.Store
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *Job
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+
+	instMu sync.Mutex
+	insts  map[instKey]*instEntry
+}
+
+// instKey identifies one prepared suite shape.
+type instKey struct {
+	scale float64
+	seed  int64
+	layer int
+}
+
+// instEntry is one once-built instance list concurrent jobs share.
+type instEntry struct {
+	once  sync.Once
+	insts []*attack.Instance
+	err   error
+}
+
+// New builds the server, reloads the state directory when one is
+// configured (re-enqueueing pending jobs, marking previously running ones
+// interrupted), and starts the worker pool.
+func New(opts Options) (*Server, error) {
+	if opts.Obs == nil {
+		opts.Obs = obs.New(obs.Options{Command: "splitserved"})
+	}
+	if opts.Store == nil {
+		opts.Store = model.NewStore(0, "")
+	}
+	if opts.Pool <= 0 {
+		opts.Pool = DefaultPool
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = DefaultQueue
+	}
+	if opts.DefaultScale <= 0 {
+		opts.DefaultScale = 1.0
+	}
+	if opts.DefaultSeed == 0 {
+		opts.DefaultSeed = 1
+	}
+	if opts.runner == nil {
+		opts.runner = execute
+	}
+	s := &Server{
+		opts:  opts,
+		o:     opts.Obs,
+		store: opts.Store,
+		jobs:  make(map[string]*Job),
+		insts: make(map[instKey]*instEntry),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	pending, err := s.loadState()
+	if err != nil {
+		return nil, err
+	}
+	// The queue must hold every reloaded pending job or resume would drop
+	// some; live submissions are still bounded by opts.Queue afterwards.
+	s.queue = make(chan *Job, max(opts.Queue, len(pending)))
+	for _, job := range pending {
+		s.queue <- job
+	}
+	s.queueDepth()
+	for i := 0; i < opts.Pool; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Obs returns the server's observability context.
+func (s *Server) Obs() *obs.Context { return s.o }
+
+// Close stops the server: no further jobs start, the contexts of running
+// jobs are cancelled (they finish as "interrupted", persisted when a state
+// dir is configured), and the worker pool drains. Pending jobs stay
+// pending — a restart with the same state dir resumes them.
+func (s *Server) Close() error {
+	s.baseCancel()
+	s.wg.Wait()
+	return nil
+}
+
+// Submit validates, registers, and enqueues a job, returning it in state
+// pending. A full queue returns ErrQueueFull and registers nothing.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	spec, err := s.normalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.nextID++
+	job := &Job{
+		ID:      fmt.Sprintf("j-%06d", s.nextID),
+		Spec:    spec,
+		State:   StatePending,
+		Created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.mu.Unlock()
+	select {
+	case s.queue <- job:
+	default:
+		s.mu.Lock()
+		delete(s.jobs, job.ID)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		s.o.Metrics().Counter("serve.jobs.rejected").Inc()
+		return nil, ErrQueueFull
+	}
+	s.queueDepth()
+	s.saveJob(job)
+	s.o.Metrics().Counter("serve.jobs.submitted").Inc()
+	s.o.Log().Info("job submitted", "job", job.ID, "kind", spec.Kind)
+	return job, nil
+}
+
+// Job returns the registered job with the given ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	return job, ok
+}
+
+// Jobs lists every registered job in submission order (reloaded jobs
+// first, ordered by ID).
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.jobs[id]
+	}
+	return out
+}
+
+// Cancel cancels the job: a pending job goes terminal immediately, a
+// running job has its context cancelled and goes terminal as soon as the
+// worker observes it (promptly — see the package doc). Cancelling a
+// terminal job reports ErrTerminal.
+func (s *Server) Cancel(id string) (*Job, error) {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ErrUnknownJob
+	}
+	switch job.State {
+	case StatePending:
+		job.State = StateCancelled
+		job.Finished = time.Now()
+		close(job.done)
+		s.mu.Unlock()
+		s.saveJob(job)
+		s.o.Metrics().Counter("serve.jobs.cancelled").Inc()
+	case StateRunning:
+		cancel := job.cancel
+		s.mu.Unlock()
+		cancel()
+	default:
+		s.mu.Unlock()
+		return job, ErrTerminal
+	}
+	s.o.Log().Info("job cancel requested", "job", id)
+	return job, nil
+}
+
+// ErrUnknownJob and ErrTerminal are Cancel's failure modes; the HTTP layer
+// maps them to 404 and 409.
+var (
+	ErrUnknownJob = errors.New("serve: unknown job")
+	ErrTerminal   = errors.New("serve: job already terminal")
+)
+
+// worker runs queued jobs until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case job := <-s.queue:
+			s.queueDepth()
+			s.runOne(job)
+		}
+	}
+}
+
+// runOne drives one job from pending to a terminal state without holding
+// the worker slot past cancellation: the job body runs on its own
+// goroutine, and the worker waits for whichever comes first — completion
+// or the job's context.
+func (s *Server) runOne(job *Job) {
+	if s.baseCtx.Err() != nil {
+		// Shutting down: leave the job pending for the next start.
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	s.mu.Lock()
+	if job.State != StatePending { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	job.State = StateRunning
+	job.Started = time.Now()
+	job.cancel = cancel
+	s.mu.Unlock()
+	s.saveJob(job)
+	s.o.Metrics().Counter("serve.jobs.started").Inc()
+	s.o.Log().Info("job started", "job", job.ID, "kind", job.Spec.Kind)
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := s.opts.runner(ctx, s, job)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case out := <-ch:
+		s.finish(job, out.res, out.err)
+	case <-ctx.Done():
+		// Cancelled (or shutdown): free the slot now. The abandoned
+		// computation finishes on its goroutine; finish ignores late
+		// results because the job is already terminal.
+		s.finish(job, nil, ctx.Err())
+	}
+}
+
+// finish moves a running job to its terminal state and persists it. Late
+// calls for an already-terminal job (the detached goroutine of a cancelled
+// run completing) are discarded.
+func (s *Server) finish(job *Job, res *Result, err error) {
+	s.mu.Lock()
+	if job.State != StateRunning {
+		s.mu.Unlock()
+		return
+	}
+	job.Finished = time.Now()
+	var counter string
+	switch {
+	case err == nil:
+		job.State = StateDone
+		job.result = res
+		counter = "serve.jobs.done"
+	case errors.Is(err, context.Canceled) && s.baseCtx.Err() != nil:
+		job.State = StateInterrupted
+		job.Err = "server shut down while the job was running"
+		counter = "serve.jobs.interrupted"
+	case errors.Is(err, context.Canceled):
+		job.State = StateCancelled
+		job.Err = "cancelled"
+		counter = "serve.jobs.cancelled"
+	default:
+		job.State = StateFailed
+		job.Err = err.Error()
+		counter = "serve.jobs.failed"
+	}
+	state := job.State
+	close(job.done)
+	s.mu.Unlock()
+	if state == StateDone {
+		s.saveResult(job)
+	}
+	s.saveJob(job)
+	s.o.Metrics().Counter(counter).Inc()
+	s.o.Log().Info("job finished", "job", job.ID, "state", string(state),
+		"elapsed", job.Finished.Sub(job.Started))
+}
+
+// setStage updates the job's coarse stage label shown in status polls.
+func (s *Server) setStage(job *Job, stage string) {
+	s.mu.Lock()
+	job.Stage = stage
+	s.mu.Unlock()
+}
+
+// queueDepth refreshes the pending-queue gauge.
+func (s *Server) queueDepth() {
+	s.o.Metrics().Gauge("serve.queue.depth").Set(float64(len(s.queue)))
+}
+
+// instances returns the prepared attack instances for one suite shape,
+// building them once and sharing them across jobs; lookups feed the
+// "serve.instances" cache counters. Instances are read-only after
+// construction and safe to share between concurrent runs.
+func (s *Server) instances(scale float64, seed int64, layer int) ([]*attack.Instance, error) {
+	key := instKey{scale: scale, seed: seed, layer: layer}
+	s.instMu.Lock()
+	e, ok := s.insts[key]
+	if !ok {
+		e = &instEntry{}
+		s.insts[key] = e
+	}
+	s.instMu.Unlock()
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		designs, err := layout.GenerateSuiteObs(s.o, layout.SuiteConfig{
+			Scale: scale, Seed: seed, Workers: s.opts.Workers})
+		if err != nil {
+			e.err = err
+			return
+		}
+		chs := make([]*split.Challenge, len(designs))
+		for i, d := range designs {
+			if chs[i], err = split.NewChallengeObs(s.o, d, layer); err != nil {
+				e.err = err
+				return
+			}
+		}
+		e.insts = attack.NewInstancesWorkers(chs, s.opts.Workers)
+	})
+	s.o.Metrics().Cache("serve.instances").Lookup(hit)
+	return e.insts, e.err
+}
