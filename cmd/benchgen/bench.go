@@ -23,6 +23,10 @@ type scoringDoc struct {
 	SplitLayer   int                 `json:"split_layer"`
 	InstancePrep instancePrepDoc     `json:"instance_prep"`
 	Configs      []scoringBenchEntry `json:"configs"`
+	// Industrial is the 100k+-cell tier's streamed-scoring measurement
+	// (see industrial.go); absent in baselines written before the tier
+	// existed.
+	Industrial *industrialScoringEntry `json:"industrial,omitempty"`
 }
 
 // instancePrepDoc measures the fixed per-run instance-preparation cost
@@ -66,6 +70,9 @@ type trainDoc struct {
 	SplitLayer int               `json:"split_layer"`
 	Fold       int               `json:"fold"`
 	Configs    []trainBenchEntry `json:"configs"`
+	// Industrial is the 100k+-cell tier's training measurement (see
+	// industrial.go); absent in baselines written before the tier existed.
+	Industrial *industrialTrainEntry `json:"industrial,omitempty"`
 }
 
 // trainBenchEntry is one config's cold-train vs warm-load measurement in

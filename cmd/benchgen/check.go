@@ -48,6 +48,19 @@ func (c *checker) exact(name string, base, cur int64) {
 	fmt.Printf("  FAIL  %-44s %d, baseline %d\n", name, cur, base)
 }
 
+// exactStr gates a deterministic string field (design names, evaluation
+// digests) on equality.
+func (c *checker) exactStr(name string, base, cur string) {
+	c.checks++
+	if base == cur {
+		fmt.Printf("  ok    %-44s %.24s (exact)\n", name, cur)
+		return
+	}
+	v := fmt.Sprintf("%s: got %q, baseline %q (must match exactly)", name, cur, base)
+	c.violations = append(c.violations, v)
+	fmt.Printf("  FAIL  %-44s %q, baseline %q\n", name, cur, base)
+}
+
 // floor gates a same-machine ratio against its allowed minimum
 // base*(1-tol).
 func (c *checker) floor(name string, base, cur, tol float64) {
@@ -179,12 +192,72 @@ func runCheck(o *obs.Context, workers int, scoringPath, trainPath string, tol fl
 		chk.floor(pfx+"warm_load_speedup", base.Speedup, got.Speedup, tol)
 	}
 
+	if err := checkIndustrial(chk, o, workers, scoringBase.Industrial, trainBase.Industrial, tol); err != nil {
+		return err
+	}
+
 	if len(chk.violations) > 0 {
 		fmt.Printf("\nperf gate: %d of %d checks FAILED\n", len(chk.violations), chk.checks)
 		return fmt.Errorf("benchgen -check: %d regression(s):\n  %s",
 			len(chk.violations), joinLines(chk.violations))
 	}
 	fmt.Printf("\nperf gate: all %d checks passed\n", chk.checks)
+	return nil
+}
+
+// checkIndustrial reruns the industrial-tier measurement once and gates
+// both baselines' industrial sections against it: the evaluation digest and
+// every count exactly (cross-machine bit-identity), the allocation rates
+// and peak heap by ceiling (the tier's memory envelope). Baselines written
+// before the tier existed carry no industrial section and skip the stage.
+func checkIndustrial(chk *checker, o *obs.Context, workers int,
+	scoringBase *industrialScoringEntry, trainBase *industrialTrainEntry, tol float64) error {
+
+	if scoringBase == nil && trainBase == nil {
+		return nil
+	}
+	scale, seed := 0.0, int64(0)
+	if scoringBase != nil {
+		scale, seed = scoringBase.Scale, scoringBase.Seed
+	} else {
+		scale, seed = trainBase.Scale, trainBase.Seed
+	}
+	// The allocation rates scale with the worker count (per-worker arenas
+	// and heaps amortize over a fixed v-pin count), so the measurement
+	// reruns at the worker count the baseline recorded — the exact fields
+	// are worker-invariant either way (pinned by the shard-invariance
+	// tests), and the ceilings stay comparable on any runner.
+	if scoringBase != nil && scoringBase.Workers > 0 {
+		if workers != scoringBase.Workers {
+			fmt.Printf("industrial stage measures at the baseline's recorded -workers %d\n", scoringBase.Workers)
+		}
+		workers = scoringBase.Workers
+	}
+	fmt.Printf("checking industrial tier (scale %g, seed %d; single fold, takes a few minutes)\n", scale, seed)
+	curScoring, curTrain, err := measureIndustrial(o, workers, scale, seed)
+	if err != nil {
+		return err
+	}
+	if scoringBase != nil {
+		chk.exactStr("industrial.design", scoringBase.Design, curScoring.Design)
+		chk.exact("industrial.cells", int64(scoringBase.Cells), int64(curScoring.Cells))
+		chk.exact("industrial.vpins", int64(scoringBase.VPins), int64(curScoring.VPins))
+		chk.exactStr("industrial.eval_digest", scoringBase.EvalDigest, curScoring.EvalDigest)
+		chk.exact("industrial.pairs", scoringBase.Pairs, curScoring.Pairs)
+		chk.exact("industrial.batches", scoringBase.Batches, curScoring.Batches)
+		chk.exact("industrial.batch_rows", scoringBase.BatchRows, curScoring.BatchRows)
+		chk.exact("industrial.regions", int64(scoringBase.Regions), int64(curScoring.Regions))
+		chk.exact("industrial.retained", scoringBase.Retained, curScoring.Retained)
+		chk.ceiling("industrial.mallocs_per_vpin", scoringBase.MallocsPerVpin, curScoring.MallocsPerVpin, tol)
+		chk.ceiling("industrial.alloc_bytes_per_pair", scoringBase.AllocBytesPerPair, curScoring.AllocBytesPerPair, tol)
+		chk.ceiling("industrial.peak_heap_bytes",
+			float64(scoringBase.PeakHeapBytes), float64(curScoring.PeakHeapBytes), tol)
+	}
+	if trainBase != nil {
+		chk.exact("industrial.samples", int64(trainBase.Samples), int64(curTrain.Samples))
+		chk.exact("industrial.trees", int64(trainBase.Trees), int64(curTrain.Trees))
+		chk.exact("industrial.artifact_bytes", int64(trainBase.ArtifactBytes), int64(curTrain.ArtifactBytes))
+	}
 	return nil
 }
 

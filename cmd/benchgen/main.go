@@ -61,7 +61,7 @@ func main() {
 	}
 
 	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{
-		Scale: app.Scale, Seed: app.Seed, Workers: app.Workers()})
+		Tier: app.Tier, Scale: app.Scale, Seed: app.Seed, Workers: app.Workers()})
 	if err != nil {
 		cli.Fatal(err)
 	}
@@ -139,11 +139,27 @@ func main() {
 	}
 	tw.Flush()
 
+	// Both baselines measure the standard suite; the industrial tier is
+	// measured once (its own suite, its own memory-bounded configuration)
+	// and contributes a section to each document.
+	var indScoring *industrialScoringEntry
+	var indTrain *industrialTrainEntry
+	if *scoringBench != "" || *trainBench != "" {
+		fmt.Println("\nmeasuring industrial tier (single fold; takes a few minutes)...")
+		indScoring, indTrain, err = measureIndustrial(o, app.Workers(), app.Scale, app.Seed)
+		if err != nil {
+			cli.Fatal(err)
+		}
+		fmt.Printf("industrial %s: %d cells, %d v-pins, %d regions, peak heap %.0f MB, est. full LOO %.0fs\n",
+			indScoring.Design, indScoring.Cells, indScoring.VPins, indScoring.Regions,
+			float64(indScoring.PeakHeapBytes)/1e6, indScoring.EstimatedLooS)
+	}
 	if *scoringBench != "" {
 		doc, err := measureScoring(designs, app.Scale, app.Seed)
 		if err != nil {
 			cli.Fatal(err)
 		}
+		doc.Industrial = indScoring
 		if err := writeBaseline(*scoringBench, doc); err != nil {
 			cli.Fatal(err)
 		}
@@ -154,6 +170,7 @@ func main() {
 		if err != nil {
 			cli.Fatal(err)
 		}
+		doc.Industrial = indTrain
 		if err := writeBaseline(*trainBench, doc); err != nil {
 			cli.Fatal(err)
 		}

@@ -57,7 +57,7 @@ func main() {
 
 	fmt.Printf("Generating benchmark suite (scale %.2f, seed %d)...\n", app.Scale, app.Seed)
 	t0 := time.Now()
-	suite, err := experiments.NewSuiteParallel(o, app.Scale, app.Seed, app.Workers())
+	suite, err := experiments.NewSuiteTier(o, app.Tier, app.Scale, app.Seed, app.Workers())
 	if err != nil {
 		cli.Fatal(err)
 	}

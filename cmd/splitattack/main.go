@@ -73,9 +73,12 @@ func prepare(fsName string, args []string, addFlags func(*flag.FlagSet)) *sessio
 	fs := flag.NewFlagSet(fsName, flag.ExitOnError)
 	app := cli.New("splitattack", fs)
 	layer := fs.Int("layer", 8, "split (via) layer: 1..8; the paper studies 4, 6, 8")
-	design := fs.String("design", "sb1", "target design: sb1 sb5 sb10 sb12 sb18")
+	design := fs.String("design", "sb1", "target design: sb1 sb5 sb10 sb12 sb18 (industrial tier: sbx1 sbx10 sbx12)")
 	config := fs.String("config", "Imp-11", "attack configuration: ML-9 Imp-9 Imp-7 Imp-11 (+Y suffix at layer 8)")
 	base := fs.String("base", "reptree", "bagging base classifier: reptree or randomtree")
+	maxLoC := fs.Int("max-loc", 0,
+		"absolute cap on retained per-v-pin candidate lists (0 = fraction-only); bounds memory on industrial designs")
+	shard := fs.Int("shard-vpins", 0, "spatial-region size of the streamed scoring stage (0 = automatic)")
 	if addFlags != nil {
 		addFlags(fs)
 	}
@@ -91,13 +94,15 @@ func prepare(fsName string, args []string, addFlags func(*flag.FlagSet)) *sessio
 	cfg.Seed = app.Seed
 	cfg.Workers = app.Workers()
 	cfg.Obs = o
+	cfg.MaxLoCCount = *maxLoC
+	cfg.ShardVpins = *shard
 	// The artifact store makes repeated invocations warm when
 	// -model-cache-dir points at a persistent directory; a memory-only
 	// store is free for the single-target run.
 	cfg.Models = app.ModelStore()
 
 	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{
-		Scale: app.Scale, Seed: app.Seed, Workers: app.Workers()})
+		Tier: app.Tier, Scale: app.Scale, Seed: app.Seed, Workers: app.Workers()})
 	if err != nil {
 		cli.Fatal(err)
 	}

@@ -57,6 +57,7 @@ func main() {
 		Pool:         *pool,
 		Queue:        *queue,
 		StateDir:     *state,
+		DefaultTier:  app.Tier,
 		DefaultScale: app.Scale,
 		DefaultSeed:  app.Seed,
 	})

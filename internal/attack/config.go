@@ -52,6 +52,23 @@ type Config struct {
 	// exact for LoC fractions up to this bound; the paper's tables query
 	// at most 10%. Zero selects 0.15.
 	MaxLoCFrac float64
+	// MaxLoCCount, when positive, additionally caps every retained
+	// candidate list at an absolute length, on top of the fractional
+	// MaxLoCFrac bound. At industrial scale the fractional bound alone
+	// retains gigabytes (0.15 of 30k v-pins is 4.5k candidates each); an
+	// absolute cap keeps the Evaluation's memory proportional to N while
+	// FCR/LoC/proximity metrics and Evaluation.Digest stay exact for every
+	// query within the retained bound. Under TwoLevel the same cap bounds
+	// the level-1 lists the pruning stage draws negatives from, so it is
+	// part of the trained model's identity there (and only there — see
+	// model.Spec.Hash).
+	MaxLoCCount int
+	// ShardVpins is the spatial-region size of the streamed scoring stage:
+	// how many v-pins a worker claims at a time from the vpinIndex grid
+	// walk. Zero picks an automatic size. Results are bit-identical for
+	// every value; this is purely a working-set/latency knob, so it is
+	// excluded from model spec hashes.
+	ShardVpins int
 	// TrainCap bounds the number of training samples (0 = unlimited);
 	// when exceeded, a balanced random subsample is used.
 	TrainCap int
@@ -127,8 +144,10 @@ func (c Config) TrainOptions() model.TrainOptions {
 		BaseKind:         c.BaseKind,
 		NumTrees:         c.NumTrees,
 		MaxLoCFrac:       c.MaxLoCFrac,
+		MaxLoCCount:      c.MaxLoCCount,
 		TrainCap:         c.TrainCap,
 		ScalarScoring:    c.ScalarScoring,
+		ShardVpins:       c.ShardVpins,
 	}
 	if c.Learner != nil {
 		cc := c
@@ -186,7 +205,24 @@ func (c Config) Validate() error {
 			return fmt.Errorf("attack: config %s: feature index %d out of range", c.Name, f)
 		}
 	}
+	if c.MaxLoCCount < 0 {
+		return fmt.Errorf("attack: config %s: MaxLoCCount %d must not be negative", c.Name, c.MaxLoCCount)
+	}
+	if c.ShardVpins < 0 {
+		return fmt.Errorf("attack: config %s: ShardVpins %d must not be negative", c.Name, c.ShardVpins)
+	}
 	return nil
+}
+
+// retainCap is the per-v-pin candidate-list bound of this configuration for
+// a design with n v-pins: the fractional LoCCap, tightened by the absolute
+// MaxLoCCount when set.
+func (c Config) retainCap(n int) int {
+	capPer := pairs.LoCCap(n, c.MaxLoCFrac)
+	if c.MaxLoCCount > 0 && c.MaxLoCCount < capPer {
+		capPer = c.MaxLoCCount
+	}
+	return capPer
 }
 
 // ML9 is the baseline configuration: the first nine features, no

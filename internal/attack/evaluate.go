@@ -1,8 +1,6 @@
 package attack
 
 import (
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/pairs"
@@ -32,8 +30,9 @@ type Evaluation struct {
 	// N is the number of v-pins in the target design.
 	N int
 	// Cands[a] lists the retained candidates of v-pin a, sorted by
-	// descending P. Lists are truncated to MaxLoCFrac*N entries; metrics
-	// are exact for LoC fractions up to that bound.
+	// descending P. Lists are truncated to MaxLoCFrac*N entries (further
+	// capped by MaxLoCCount when the configuration sets it); metrics are
+	// exact for LoC sizes up to that bound.
 	Cands [][]Candidate
 	// TruthP[a] is the scored probability of a's true match, or -1 when
 	// the pair was never scored (filtered out by neighborhood or Y rules
@@ -57,6 +56,14 @@ type Evaluation struct {
 	// scoring path and the rows scored through them (level-1 and level-2
 	// batches both counted). Zero on the scalar path.
 	Batches, BatchRows int64
+	// Regions is the number of spatial shards the scoring stage streamed
+	// the targets through, and Retained the total candidates kept across
+	// all lists. Execution-shape statistics: not part of Digest.
+	Regions int
+	// Retained counts the candidates kept across all lists after the
+	// retention bound — the Evaluation's dominant memory term (12 bytes
+	// per retained candidate).
+	Retained int64
 }
 
 // Phases is the per-stage wall-clock breakdown of one target's attack run.
@@ -84,25 +91,20 @@ func scoreTarget(model Scorer, inst *Instance, cfg Config, radiusNorm float64) *
 // every v-pin. The proximity attack's validation stage uses this to score
 // only held-out v-pins.
 //
-// There is one scoring path: each worker gathers a v-pin's admitted
-// candidates into its reusable pairs.Gatherer arena and scores the arena
-// through the backend pairs.ResolveBackend picked — the batched flat-arena
-// engine when the model supports it, the per-row scalar oracle otherwise
-// (or under cfg.ScalarScoring). Candidates enter the heap in enumeration
-// order under both backends, so the retained lists are bit-identical.
+// Scoring rides pairs.ScoreLists, the shared region-streamed engine: the
+// targets are sharded by spatial region of the v-pin index, each worker
+// streams one region at a time through its reusable Gatherer arena and
+// TopK heap, and the backend pairs.ResolveBackend picked — the batched
+// flat-arena engine when the model supports it, the per-row scalar oracle
+// otherwise (or under cfg.ScalarScoring) — scores each arena. Retention is
+// order-free, so the Evaluation is bit-identical at any worker count and
+// any shard size; TruthP is filled from the Visit hook before retention,
+// so the true pair's probability survives even when the truth falls
+// outside the retained bound.
 func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, subset []int) *Evaluation {
 	start := time.Now()
 	n := inst.N()
 	filter := newPairFilter(inst, cfg, radiusNorm)
-	capPer := pairs.LoCCap(n, cfg.MaxLoCFrac)
-
-	targets := subset
-	if targets == nil {
-		targets = make([]int, n)
-		for i := range targets {
-			targets[i] = i
-		}
-	}
 
 	ev := &Evaluation{
 		ConfigName: cfg.Name,
@@ -110,7 +112,6 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 		SplitLayer: inst.Ch.SplitLayer,
 		N:          n,
 		Subset:     subset,
-		Cands:      make([][]Candidate, n),
 		TruthP:     make([]float32, n),
 		Truth:      make([]int32, n),
 	}
@@ -119,66 +120,31 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 		ev.Truth[a] = int32(inst.Match(a))
 	}
 
-	workers := cfg.workerCount(len(targets))
-	var next int64
-	var mu sync.Mutex
-	take := func(batch int) (int, int) {
-		mu.Lock()
-		defer mu.Unlock()
-		lo := int(next)
-		if lo >= len(targets) {
-			return 0, 0
-		}
-		hi := lo + batch
-		if hi > len(targets) {
-			hi = len(targets)
-		}
-		next = int64(hi)
-		return lo, hi
+	total := n
+	if subset != nil {
+		total = len(subset)
 	}
-
-	backend := pairs.ResolveBackend(model, cfg.ScalarScoring)
-
-	var pairsScored, batches, batchRows int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var g pairs.Gatherer
-			var scored int64
-			defer func() {
-				atomic.AddInt64(&pairsScored, scored)
-				atomic.AddInt64(&batches, g.Batches)
-				atomic.AddInt64(&batchRows, g.BatchRows)
-			}()
-			for {
-				lo, hi := take(16)
-				if lo == hi {
+	lists, stats := pairs.ScoreLists(filter, pairs.ResolveBackend(model, cfg.ScalarScoring), pairs.StreamOptions{
+		Targets:    subset,
+		Cap:        cfg.retainCap(n),
+		ShardVpins: cfg.ShardVpins,
+		Workers:    cfg.workerCount(total),
+		Visit: func(a int, g *pairs.Gatherer) {
+			m := inst.Match(a)
+			for k, b32 := range g.Ids {
+				if int(b32) == m {
+					ev.TruthP[a] = float32(g.P[k])
 					return
 				}
-				for _, a := range targets[lo:hi] {
-					h := pairs.TopK{Cap: capPer}
-					m := inst.Match(a)
-					g.Gather(filter, a)
-					g.Score(backend)
-					scored += int64(len(g.Ids))
-					for k, b32 := range g.Ids {
-						p := float32(g.P[k])
-						if int(b32) == m {
-							ev.TruthP[a] = p
-						}
-						h.Push(Candidate{Other: b32, P: p, D: g.D[k]})
-					}
-					ev.Cands[a] = h.Sorted()
-				}
 			}
-		}()
-	}
-	wg.Wait()
-	ev.PairsScored = pairsScored
-	ev.Batches = batches
-	ev.BatchRows = batchRows
+		},
+	})
+	ev.Cands = lists
+	ev.PairsScored = stats.Pairs
+	ev.Batches = stats.Batches
+	ev.BatchRows = stats.BatchRows
+	ev.Regions = stats.Regions
+	ev.Retained = stats.Retained
 	ev.TestDur = time.Since(start)
 	ev.Phases.Scoring = ev.TestDur
 	return ev

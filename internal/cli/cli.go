@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/layout"
 	"repro/internal/model"
 	"repro/internal/obs"
 )
@@ -30,7 +31,8 @@ type App struct {
 	// Name is the command name, used for -version output and as the
 	// observability report's command field.
 	Name string
-	// Scale and Seed are the -scale/-seed values after Parse.
+	// Tier, Scale, and Seed are the -tier/-scale/-seed values after Parse.
+	Tier  string
 	Scale float64
 	Seed  int64
 	// Obs is the observability flag bundle (verbose, workers, report,
@@ -49,6 +51,8 @@ type App struct {
 // Command-specific flags are registered on the same fs afterwards.
 func New(name string, fs *flag.FlagSet) *App {
 	a := &App{Name: name, fs: fs}
+	fs.StringVar(&a.Tier, "tier", layout.TierStandard,
+		"benchmark suite tier: standard (five sb* designs) or industrial (three 100k+-cell sbx* designs)")
 	fs.Float64Var(&a.Scale, "scale", 1.0, "benchmark suite scale factor")
 	fs.Int64Var(&a.Seed, "seed", 1, "generation and attack seed")
 	fs.IntVar(&a.ModelCache, "model-cache", 0,

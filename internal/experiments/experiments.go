@@ -31,8 +31,10 @@ import (
 // never on which goroutine computed them.
 type Suite struct {
 	Designs []*layout.Design
-	Scale   float64
-	Seed    int64
+	// Tier is the suite tier the designs came from ("" means standard).
+	Tier  string
+	Scale float64
+	Seed  int64
 
 	// Workers bounds the goroutines of every attack run and config sweep
 	// started through this suite (propagated into attack.Config.Workers
@@ -76,11 +78,20 @@ func NewSuiteObs(o *obs.Context, scale float64, seed int64) (*Suite, error) {
 // the suite. Generation is per-design deterministic, so the suite is
 // identical at any worker count.
 func NewSuiteParallel(o *obs.Context, scale float64, seed int64, workers int) (*Suite, error) {
-	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Scale: scale, Seed: seed, Workers: workers})
+	return NewSuiteTier(o, layout.TierStandard, scale, seed, workers)
+}
+
+// NewSuiteTier is NewSuiteParallel with an explicit suite tier: "standard"
+// for the five sb* benchmark designs, "industrial" for the three 100k+-cell
+// sbx* designs. The tier changes only which designs are generated; every
+// cache and attack path downstream is tier-agnostic.
+func NewSuiteTier(o *obs.Context, tier string, scale float64, seed int64, workers int) (*Suite, error) {
+	designs, err := layout.GenerateSuiteObs(o, layout.SuiteConfig{Tier: tier, Scale: scale, Seed: seed, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
 	s := NewSuiteFromDesigns(designs, scale, seed)
+	s.Tier = tier
 	s.Workers = workers
 	s.Obs = o
 	return s, nil

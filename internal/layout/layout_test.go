@@ -133,3 +133,115 @@ func TestScaleChangesSize(t *testing.T) {
 		t.Errorf("die size should not scale with Scale")
 	}
 }
+
+func TestValidTier(t *testing.T) {
+	for _, tier := range []string{"", TierStandard, TierIndustrial} {
+		if !ValidTier(tier) {
+			t.Errorf("ValidTier(%q) = false, want true", tier)
+		}
+	}
+	for _, tier := range []string{"huge", "Standard", "industrial "} {
+		if ValidTier(tier) {
+			t.Errorf("ValidTier(%q) = true, want false", tier)
+		}
+	}
+	if got := SuiteProfiles(SuiteConfig{Tier: "huge", Scale: 1}); got != nil {
+		t.Errorf("SuiteProfiles with unknown tier returned %d profiles, want nil", len(got))
+	}
+	if _, err := GenerateSuite(SuiteConfig{Tier: "huge", Scale: 0.1, Seed: 1}); err == nil {
+		t.Error("GenerateSuite accepted an unknown tier")
+	}
+}
+
+func TestIndustrialProfiles(t *testing.T) {
+	std := SuiteProfiles(SuiteConfig{Tier: TierStandard, Scale: 1, Seed: 1})
+	ind := SuiteProfiles(SuiteConfig{Tier: TierIndustrial, Scale: 1, Seed: 1})
+	wantNames := []string{"sbx1", "sbx10", "sbx12"}
+	if len(ind) != len(wantNames) {
+		t.Fatalf("industrial tier has %d profiles, want %d", len(ind), len(wantNames))
+	}
+	stdByName := map[string]Profile{}
+	for _, p := range std {
+		stdByName[p.Name] = p
+	}
+	for i, p := range ind {
+		if p.Name != wantNames[i] {
+			t.Errorf("profile %d named %q, want %q", i, p.Name, wantNames[i])
+		}
+		// The tier's whole point: every design is industrial-sized.
+		if p.NumCells < 100000 {
+			t.Errorf("%s has %d cells, want >= 100000", p.Name, p.NumCells)
+		}
+		// Die area grows with the size multiplier so density stays at the
+		// calibrated standard-tier level: cells per die area within 10%.
+		base := stdByName["sb"+p.Name[3:]]
+		stdDensity := float64(base.NumCells) / (float64(base.DieSize) * float64(base.DieSize))
+		indDensity := float64(p.NumCells) / (float64(p.DieSize) * float64(p.DieSize))
+		if ratio := indDensity / stdDensity; ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("%s density %.3g vs standard %.3g (ratio %.2f), want within 10%%",
+				p.Name, indDensity, stdDensity, ratio)
+		}
+		if p.Seed == base.Seed {
+			t.Errorf("%s shares its seed with %s", p.Name, base.Name)
+		}
+	}
+}
+
+// TestStandardProfilesUnchanged pins the pre-tier suite bit-for-bit: the
+// tier refactor must not move a single field of the historical profiles.
+func TestStandardProfilesUnchanged(t *testing.T) {
+	p := SuiteProfiles(SuiteConfig{Scale: 1, Seed: 1})
+	if len(p) != 5 {
+		t.Fatalf("standard tier has %d profiles, want 5", len(p))
+	}
+	sb1 := p[0]
+	if sb1.Name != "sb1" || sb1.Seed != 102 || sb1.DieSize != 36000 ||
+		sb1.NumCells != 9600 || sb1.NumNets != 10680 ||
+		sb1.TrunkTargets != (TrunkTargets{T9: 196, T78: 879, T56: 2663}) {
+		t.Errorf("sb1 profile changed: %+v", sb1)
+	}
+	for i, tierCfg := range []SuiteConfig{{Scale: 0.3, Seed: 9}, {Tier: TierStandard, Scale: 0.3, Seed: 9}} {
+		got := SuiteProfiles(tierCfg)
+		if len(got) != 5 || got[0].NumCells != int(9600*0.3) {
+			t.Errorf("case %d: empty-tier and standard-tier profiles diverge", i)
+		}
+	}
+}
+
+func TestIndustrialDieGrowth(t *testing.T) {
+	// At tiny scales the multiplier drops to or below 1 and the die must
+	// stay at its base edge — exactly the pre-tier behavior.
+	tiny := SuiteProfiles(SuiteConfig{Tier: TierIndustrial, Scale: 0.05, Seed: 1})[0]
+	if tiny.DieSize != 36000 {
+		t.Errorf("sbx1 at scale 0.05 die %d, want base 36000", tiny.DieSize)
+	}
+	full := SuiteProfiles(SuiteConfig{Tier: TierIndustrial, Scale: 1, Seed: 1})[0]
+	if full.DieSize <= 36000 {
+		t.Errorf("sbx1 at scale 1 die %d, want above base 36000", full.DieSize)
+	}
+}
+
+// TestGenerateIndustrialTiny generates the industrial tier at a small scale
+// end to end: the designs must be valid and carry the sbx names. (Full-size
+// generation is exercised by cmd/benchgen and the attack smoke test.)
+func TestGenerateIndustrialTiny(t *testing.T) {
+	designs, err := GenerateSuite(SuiteConfig{Tier: TierIndustrial, Scale: 0.03, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"sbx1", "sbx10", "sbx12"}
+	if len(designs) != len(want) {
+		t.Fatalf("got %d designs, want %d", len(designs), len(want))
+	}
+	for i, d := range designs {
+		if d.Name != want[i] {
+			t.Errorf("design %d named %q, want %q", i, d.Name, want[i])
+		}
+		if err := d.Netlist.Validate(); err != nil {
+			t.Errorf("%s: netlist invalid: %v", d.Name, err)
+		}
+		if err := d.Routing.Validate(); err != nil {
+			t.Errorf("%s: routing invalid: %v", d.Name, err)
+		}
+	}
+}

@@ -56,6 +56,11 @@ type TrainOptions struct {
 	// and is hashed only then, so one- and two-level configurations share
 	// level-1 artifacts.
 	MaxLoCFrac float64
+	// MaxLoCCount, when positive, additionally caps those lists at an
+	// absolute length (the industrial-scale memory bound). Like MaxLoCFrac
+	// it influences training only under TwoLevel and is hashed only then —
+	// and only when set, so every pre-existing spec hash is unchanged.
+	MaxLoCCount int
 	// TrainCap bounds the number of training samples (0 = unlimited).
 	TrainCap int
 	// Learner, when non-nil, replaces the Bagging ensemble. Such Specs are
@@ -66,6 +71,11 @@ type TrainOptions struct {
 	// bit-identical either way (the documented Ensemble/Bagging contract),
 	// so it is excluded from spec hashes.
 	ScalarScoring bool
+	// ShardVpins is the spatial-region size of the streamed candidate
+	// scoring the level-2 stage runs over the training designs (0 = auto).
+	// Results are bit-identical for every value, so like ScalarScoring it
+	// is an execution knob excluded from spec hashes.
+	ShardVpins int
 }
 
 // WithDefaults resolves the zero-value conveniences exactly as

@@ -124,6 +124,12 @@ func (s Spec) Hash() string {
 		// MaxLoCFrac bounds the level-1 candidate lists the level-2 stage
 		// draws negatives from; without TwoLevel it only affects scoring.
 		fmt.Fprintf(&b, "maxlocfrac=%016x\n", math.Float64bits(s.Opts.MaxLoCFrac))
+		// The absolute cap tightens those same lists, so it joins the hash
+		// under TwoLevel — but only when set, keeping every hash minted
+		// before the field existed (and every uncapped config) unchanged.
+		if s.Opts.MaxLoCCount > 0 {
+			fmt.Fprintf(&b, "maxloccount=%d\n", s.Opts.MaxLoCCount)
+		}
 	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])

@@ -243,57 +243,21 @@ func level2Samples(spec Spec, inst *pairs.Instance, l1 pairs.Scorer, workers, in
 
 // candidateLists scores every admitted candidate pair of inst with the
 // level-1 model and returns the per-v-pin retained lists, exactly as the
-// attack engine's scoring stage produces them: gathered per v-pin into a
-// reusable arena, scored through the resolved backend, retained through
-// the shared bounded heap, and sorted into canonical order. The lists are
-// bit-identical to the engine's at any worker count.
+// attack engine's scoring stage produces them: streamed one spatial region
+// at a time through pairs.ScoreLists — the same engine, the same bounds
+// (fractional MaxLoCFrac tightened by the absolute MaxLoCCount), so the
+// lists are bit-identical to the engine's at any worker count and shard
+// size, and training memory stays bounded on industrial-tier designs.
 func candidateLists(spec Spec, inst *pairs.Instance, l1 pairs.Scorer, workers int) [][]pairs.Candidate {
-	n := inst.N()
 	filter := spec.Opts.Filter(inst, spec.RadiusNorm)
-	capPer := pairs.LoCCap(n, spec.Opts.MaxLoCFrac)
-	lists := make([][]pairs.Candidate, n)
-
-	var next int64
-	var mu sync.Mutex
-	take := func(batch int) (int, int) {
-		mu.Lock()
-		defer mu.Unlock()
-		lo := int(next)
-		if lo >= n {
-			return 0, 0
-		}
-		hi := lo + batch
-		if hi > n {
-			hi = n
-		}
-		next = int64(hi)
-		return lo, hi
+	capPer := pairs.LoCCap(inst.N(), spec.Opts.MaxLoCFrac)
+	if c := spec.Opts.MaxLoCCount; c > 0 && c < capPer {
+		capPer = c
 	}
-
-	backend := pairs.ResolveBackend(l1, spec.Opts.ScalarScoring)
-	var wg sync.WaitGroup
-	for w := 0; w < workerCount(workers, n); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			var g pairs.Gatherer
-			for {
-				lo, hi := take(16)
-				if lo == hi {
-					return
-				}
-				for a := lo; a < hi; a++ {
-					h := pairs.TopK{Cap: capPer}
-					g.Gather(filter, a)
-					g.Score(backend)
-					for k, b32 := range g.Ids {
-						h.Push(pairs.Candidate{Other: b32, P: float32(g.P[k]), D: g.D[k]})
-					}
-					lists[a] = h.Sorted()
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	lists, _ := pairs.ScoreLists(filter, pairs.ResolveBackend(l1, spec.Opts.ScalarScoring), pairs.StreamOptions{
+		Cap:        capPer,
+		ShardVpins: spec.Opts.ShardVpins,
+		Workers:    workers,
+	})
 	return lists
 }

@@ -42,41 +42,62 @@ func LoCCap(n int, maxLoCFrac float64) int {
 	return capPer
 }
 
-// TopK is a bounded min-heap on P keeping the Cap highest-probability
-// candidates. Push candidates in enumeration order, then call Sorted once:
-// because CompareCandidates is a total order, the retained list does not
-// depend on the heap's internal state history.
+// TopK is a bounded heap keeping the Cap first candidates of the canonical
+// CompareCandidates order. The heap root is the worst retained candidate
+// under that total order (lowest P, ties by largest Other), so the retained
+// set — not just its sorted presentation — equals the first Cap entries of
+// sorting everything, regardless of push order. That makes retention
+// independent of the enumeration order, which is what allows candidate
+// streaming to shard targets by spatial region freely.
 type TopK struct {
 	// Cap bounds the retained candidates and must be positive.
 	Cap int
 	c   []Candidate
 }
 
-// Push offers a candidate, evicting the current minimum when full.
+// Reset empties the heap and sets its capacity, keeping the backing array
+// so a worker can reuse one TopK across v-pins without reallocating. Any
+// slice previously returned by Sorted is invalidated.
+func (h *TopK) Reset(capacity int) {
+	h.Cap = capacity
+	h.c = h.c[:0]
+}
+
+// Len returns the number of retained candidates.
+func (h *TopK) Len() int { return len(h.c) }
+
+// Push offers a candidate, evicting the canonically-worst retained one when
+// full.
 func (h *TopK) Push(cand Candidate) {
 	if len(h.c) < h.Cap {
 		h.c = append(h.c, cand)
 		h.up(len(h.c) - 1)
 		return
 	}
-	if cand.P <= h.c[0].P {
-		return
+	if CompareCandidates(cand, h.c[0]) >= 0 {
+		return // ranks at or after the current worst: not retained
 	}
 	h.c[0] = cand
 	h.down(0)
 }
 
 // Sorted destroys the heap order and returns the retained candidates in
-// canonical CompareCandidates order.
+// canonical CompareCandidates order. The returned slice aliases the heap's
+// backing array: it is valid until the next Push or Reset, so callers that
+// keep lists must copy them out (the streaming scorer packs them into a
+// per-region arena).
 func (h *TopK) Sorted() []Candidate {
 	slices.SortFunc(h.c, CompareCandidates)
 	return h.c
 }
 
+// The heap invariant is "parent ranks no earlier than child" under
+// CompareCandidates, keeping the canonically-last element at the root.
+
 func (h *TopK) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.c[p].P <= h.c[i].P {
+		if CompareCandidates(h.c[i], h.c[p]) <= 0 {
 			break
 		}
 		h.c[p], h.c[i] = h.c[i], h.c[p]
@@ -88,17 +109,17 @@ func (h *TopK) down(i int) {
 	n := len(h.c)
 	for {
 		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && h.c[l].P < h.c[small].P {
-			small = l
+		worst := i
+		if l < n && CompareCandidates(h.c[l], h.c[worst]) > 0 {
+			worst = l
 		}
-		if r < n && h.c[r].P < h.c[small].P {
-			small = r
+		if r < n && CompareCandidates(h.c[r], h.c[worst]) > 0 {
+			worst = r
 		}
-		if small == i {
+		if worst == i {
 			return
 		}
-		h.c[i], h.c[small] = h.c[small], h.c[i]
-		i = small
+		h.c[i], h.c[worst] = h.c[worst], h.c[i]
+		i = worst
 	}
 }

@@ -1,6 +1,10 @@
 package pairs
 
-import "repro/internal/split"
+import (
+	"math"
+
+	"repro/internal/split"
+)
 
 // vpinIndex accelerates candidate enumeration: spatial buckets for
 // neighborhood queries and exact-y buckets for the "Y" configurations.
@@ -18,9 +22,18 @@ type vpinIndex struct {
 func newVpinIndex(ch *split.Challenge) *vpinIndex {
 	die := ch.Design.Die()
 	n := len(ch.VPins)
+	// The grid granularity scales with the v-pin population so buckets hold
+	// a few dozen entries on average: the historical 32×32 grid up to ~24k
+	// v-pins (every pre-industrial design — their indexes are unchanged),
+	// proportionally finer above, which keeps neighborhood queries bounded
+	// by the radius instead of the bucket population at industrial scale.
+	div := 32
+	if d := int(math.Sqrt(float64(n) / 24.0)); d > div {
+		div = d
+	}
 	ix := &vpinIndex{
 		n:    n,
-		tile: float64(die.Width()) / 32,
+		tile: float64(die.Width()) / float64(div),
 		byY:  make(map[int64][]int32),
 		xs:   make([]float64, n),
 		ys:   make([]float64, n),
@@ -61,12 +74,53 @@ func (ix *vpinIndex) tileOf(x, y float64) (int, int) {
 	return tx, ty
 }
 
+// regions partitions the target v-pins into spatially-contiguous shards of
+// at most size entries each, walking the grid tiles in row-major order (the
+// same deterministic order candidates uses). A nil targets selects every
+// v-pin. Workers streaming one region at a time touch neighboring v-pins
+// together — their candidate tiles overlap, so the extractor's and index's
+// cache lines stay hot — and the retained lists are independent of which
+// worker processes which region (TopK retention is order-free).
+func (ix *vpinIndex) regions(targets []int, size int) [][]int32 {
+	if size < 1 {
+		size = 1
+	}
+	var member []bool
+	total := ix.n
+	if targets != nil {
+		member = make([]bool, ix.n)
+		for _, a := range targets {
+			member[a] = true
+		}
+		total = len(targets)
+	}
+	out := make([][]int32, 0, total/size+1)
+	cur := make([]int32, 0, min(size, total))
+	for ti := range ix.grid {
+		for _, b := range ix.grid[ti] {
+			if member != nil && !member[b] {
+				continue
+			}
+			cur = append(cur, b)
+			if len(cur) >= size {
+				out = append(out, cur)
+				cur = make([]int32, 0, size)
+			}
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
 // candidates invokes fn for every v-pin b that passes the geometric
 // pre-filters relative to a (excluding a itself). Legality is not checked
 // here; Filter.Enumerate layers it on top. The visit order — y-bucket or
 // tile-row-major walk, insertion order within buckets — is the pipeline's
-// canonical enumeration order and must stay deterministic: heap
-// tie-breaking downstream depends on it.
+// canonical enumeration order and must stay deterministic: it is the row
+// order of the batched feature matrices, the scalar/batch bit-identity
+// contract's shared ground.
 func (ix *vpinIndex) candidates(a int, radius float64, yLimit bool, fn func(b int32)) {
 	if yLimit {
 		for _, b := range ix.byY[int64(ix.ys[a])] {

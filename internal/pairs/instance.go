@@ -86,10 +86,9 @@ func (inst *Instance) Match(a int) int { return int(inst.match[a]) }
 // Imp neighborhood radius.
 func (inst *Instance) DieWidth() float64 { return inst.dieW }
 
-// matchDistsNorm returns the ManhattanVpin distance of every true match,
-// normalised by die width (one entry per cut net).
-func (inst *Instance) matchDistsNorm() []float64 {
-	out := make([]float64, 0, inst.N()/2)
+// appendMatchDistsNorm appends the ManhattanVpin distance of every true
+// match, normalised by die width (one entry per cut net), to out.
+func (inst *Instance) appendMatchDistsNorm(out []float64) []float64 {
 	for a := 0; a < inst.N(); a++ {
 		m := inst.Match(a)
 		if a < m {
@@ -102,11 +101,17 @@ func (inst *Instance) matchDistsNorm() []float64 {
 // NeighborRadiusNorm pools the normalised matched-pair distances of the
 // given (training) instances and returns their q-quantile — the
 // neighborhood radius of the Imp configurations, as a fraction of die
-// width (paper §III-D, Fig. 4).
+// width (paper §III-D, Fig. 4). The pool is preallocated at its bound (one
+// entry per matched pair, at most N/2 per instance), so the computation
+// makes one slice allocation however large the suite is.
 func NeighborRadiusNorm(insts []*Instance, q float64) float64 {
-	var all []float64
+	total := 0
 	for _, inst := range insts {
-		all = append(all, inst.matchDistsNorm()...)
+		total += inst.N() / 2
+	}
+	all := make([]float64, 0, total)
+	for _, inst := range insts {
+		all = inst.appendMatchDistsNorm(all)
 	}
 	return ml.Quantile(all, q)
 }

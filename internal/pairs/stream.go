@@ -1,0 +1,165 @@
+package pairs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// StreamOptions configures one ScoreLists run.
+type StreamOptions struct {
+	// Targets lists the v-pins to score; nil scores every v-pin of the
+	// instance. Candidates are always drawn from the whole design.
+	Targets []int
+	// Cap bounds each retained candidate list (see LoCCap and any absolute
+	// cap the caller layers on top). Values below 1 are clamped to 1.
+	Cap int
+	// ShardVpins is the region size: how many v-pins one worker streams
+	// before claiming the next region. Zero picks a size that gives every
+	// worker several regions (for load balance) while keeping regions large
+	// enough that the per-region arena amortises. The retained lists are
+	// bit-identical for every shard size.
+	ShardVpins int
+	// Workers bounds the scoring goroutines; zero or negative selects
+	// GOMAXPROCS. Results are bit-identical at any worker count.
+	Workers int
+	// Visit, when non-nil, observes every scored arena before retention:
+	// it is called once per target v-pin with the gathered ids, distances,
+	// and probabilities. Calls happen concurrently for different v-pins but
+	// never for the same one, so a Visit writing to per-v-pin slots needs no
+	// locking. The Gatherer is reused immediately after Visit returns.
+	Visit func(a int, g *Gatherer)
+}
+
+// StreamStats reports what one ScoreLists run did.
+type StreamStats struct {
+	// Pairs counts the candidate pairs scored through the backend.
+	Pairs int64
+	// Batches and BatchRows count ProbBatch calls and their rows (zero on
+	// the scalar path).
+	Batches, BatchRows int64
+	// Regions is the number of spatial shards the targets were split into.
+	Regions int
+	// Retained counts the candidates kept across all lists after the cap.
+	Retained int64
+}
+
+// ScoreLists is the shared candidate-scoring engine: it streams the target
+// v-pins through the filter and backend one spatial region at a time and
+// returns the per-v-pin retained candidate lists in canonical
+// CompareCandidates order. Both the attack engine's scoring stage and the
+// two-level training stage ride this one implementation.
+//
+// Memory is bounded by region, not by design: each worker owns one reusable
+// Gatherer arena and one reusable TopK heap, and packs the retained lists of
+// its current region into a single per-region arena (one allocation per
+// region instead of one per v-pin). Retention is order-free — TopK keeps
+// exactly the first Cap entries of the canonical total order no matter the
+// push order — so the returned lists are bit-identical at any worker count
+// and any shard size.
+func ScoreLists(f Filter, backend Backend, opts StreamOptions) ([][]Candidate, StreamStats) {
+	inst := f.Instance()
+	n := inst.N()
+	lists := make([][]Candidate, n)
+	total := n
+	if opts.Targets != nil {
+		total = len(opts.Targets)
+	}
+	if total == 0 {
+		return lists, StreamStats{}
+	}
+	capPer := opts.Cap
+	if capPer < 1 {
+		capPer = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	regions := inst.ix.regions(opts.Targets, shardSize(opts.ShardVpins, total, workers))
+	stats := StreamStats{Regions: len(regions)}
+	if workers > len(regions) {
+		workers = len(regions)
+	}
+
+	var nextRegion atomic.Int64
+	var pairs, batches, batchRows, retained int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var g Gatherer
+			var h TopK
+			var scored, kept int64
+			// spans defers list fix-up to the end of the region: the arena
+			// may reallocate while the region streams, so slices into it are
+			// only taken once its length is final.
+			type span struct{ a, lo, hi int }
+			var spans []span
+			arenaHint := 0
+			for {
+				ri := int(nextRegion.Add(1)) - 1
+				if ri >= len(regions) {
+					break
+				}
+				arena := make([]Candidate, 0, arenaHint)
+				spans = spans[:0]
+				for _, a32 := range regions[ri] {
+					a := int(a32)
+					h.Reset(capPer)
+					g.Gather(f, a)
+					g.Score(backend)
+					scored += int64(len(g.Ids))
+					if opts.Visit != nil {
+						opts.Visit(a, &g)
+					}
+					for k, b := range g.Ids {
+						h.Push(Candidate{Other: b, P: float32(g.P[k]), D: g.D[k]})
+					}
+					lo := len(arena)
+					arena = append(arena, h.Sorted()...)
+					spans = append(spans, span{a: a, lo: lo, hi: len(arena)})
+				}
+				for _, sp := range spans {
+					lists[sp.a] = arena[sp.lo:sp.hi:sp.hi]
+				}
+				kept += int64(len(arena))
+				if len(arena) > arenaHint {
+					arenaHint = len(arena)
+				}
+			}
+			atomic.AddInt64(&pairs, scored)
+			atomic.AddInt64(&batches, g.Batches)
+			atomic.AddInt64(&batchRows, g.BatchRows)
+			atomic.AddInt64(&retained, kept)
+		}()
+	}
+	wg.Wait()
+	stats.Pairs = pairs
+	stats.Batches = batches
+	stats.BatchRows = batchRows
+	stats.Retained = retained
+	return lists, stats
+}
+
+// shardSize resolves the region size: the explicit request when positive,
+// otherwise a size giving each worker about four regions — small enough to
+// balance uneven regions across workers, large enough that the per-region
+// arena allocation amortises — clamped to [16, 2048] v-pins.
+func shardSize(requested, total, workers int) int {
+	if requested > 0 {
+		return requested
+	}
+	size := (total + 4*workers - 1) / (4 * workers)
+	if size < 16 {
+		size = 16
+	}
+	if size > 2048 {
+		size = 2048
+	}
+	return size
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/layout"
 	"repro/internal/obs"
 )
 
@@ -168,9 +169,20 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDesigns lists the design names a job may target at the server's
-// default scale and seed.
+// default scale and seed. An optional ?tier= query selects the suite tier
+// ("standard" or "industrial"); omitted, the server's default tier answers,
+// so pre-tier clients see exactly the response they always did.
 func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
-	obs.ServeJSON(w, suiteDesigns(s.opts.DefaultScale, s.opts.DefaultSeed))
+	tier := r.URL.Query().Get("tier")
+	if tier == "" {
+		tier = s.opts.DefaultTier
+	}
+	if !layout.ValidTier(tier) {
+		writeError(w, http.StatusBadRequest, "invalid_spec",
+			"unknown tier %q (want %v)", tier, layout.Tiers())
+		return
+	}
+	obs.ServeJSON(w, suiteDesigns(tier, s.opts.DefaultScale, s.opts.DefaultSeed))
 }
 
 // noStatusWriter suppresses the WriteHeader a JSON helper would issue

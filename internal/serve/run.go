@@ -22,7 +22,7 @@ func execute(ctx context.Context, s *Server, job *Job) (*Result, error) {
 	defer prog.Finish()
 
 	s.setStage(job, "instances")
-	insts, err := s.instances(spec.Scale, *spec.Seed, spec.Layer)
+	insts, err := s.instances(spec.Tier, spec.Scale, *spec.Seed, spec.Layer)
 	if err != nil {
 		return nil, err
 	}

@@ -76,8 +76,10 @@ type Options struct {
 	// StateDir enables job persistence (see the package doc); empty runs
 	// memory-only.
 	StateDir string
-	// DefaultScale and DefaultSeed fill job specs that omit scale or seed
-	// (0 selects 1.0 and 1).
+	// DefaultTier, DefaultScale, and DefaultSeed fill job specs that omit
+	// the suite tier, scale, or seed ("" selects layout.TierStandard, 0
+	// selects 1.0 and 1).
+	DefaultTier  string
 	DefaultScale float64
 	DefaultSeed  int64
 
@@ -113,6 +115,7 @@ type Server struct {
 
 // instKey identifies one prepared suite shape.
 type instKey struct {
+	tier  string
 	scale float64
 	seed  int64
 	layer int
@@ -140,6 +143,12 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.Queue <= 0 {
 		opts.Queue = DefaultQueue
+	}
+	if opts.DefaultTier == "" {
+		opts.DefaultTier = layout.TierStandard
+	}
+	if !layout.ValidTier(opts.DefaultTier) {
+		return nil, fmt.Errorf("serve: unknown default tier %q (want %v)", opts.DefaultTier, layout.Tiers())
 	}
 	if opts.DefaultScale <= 0 {
 		opts.DefaultScale = 1.0
@@ -398,8 +407,8 @@ func (s *Server) queueDepth() {
 // building them once and sharing them across jobs; lookups feed the
 // "serve.instances" cache counters. Instances are read-only after
 // construction and safe to share between concurrent runs.
-func (s *Server) instances(scale float64, seed int64, layer int) ([]*attack.Instance, error) {
-	key := instKey{scale: scale, seed: seed, layer: layer}
+func (s *Server) instances(tier string, scale float64, seed int64, layer int) ([]*attack.Instance, error) {
+	key := instKey{tier: tier, scale: scale, seed: seed, layer: layer}
 	s.instMu.Lock()
 	e, ok := s.insts[key]
 	if !ok {
@@ -411,7 +420,7 @@ func (s *Server) instances(scale float64, seed int64, layer int) ([]*attack.Inst
 	e.once.Do(func() {
 		hit = false
 		designs, err := layout.GenerateSuiteObs(s.o, layout.SuiteConfig{
-			Scale: scale, Seed: seed, Workers: s.opts.Workers})
+			Tier: tier, Scale: scale, Seed: seed, Workers: s.opts.Workers})
 		if err != nil {
 			e.err = err
 			return

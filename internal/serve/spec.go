@@ -41,6 +41,10 @@ type JobSpec struct {
 	Design string `json:"design,omitempty"`
 	// Layer is the split (via) layer, 1..8; 0 selects 8.
 	Layer int `json:"layer,omitempty"`
+	// Tier is the synthetic-suite tier: "standard" (five sb* designs) or
+	// "industrial" (three 100k+-cell sbx* designs); omitted inherits the
+	// server's default.
+	Tier string `json:"tier,omitempty"`
 	// Scale is the synthetic-suite scale factor; 0 inherits the server's
 	// default.
 	Scale float64 `json:"scale,omitempty"`
@@ -85,6 +89,12 @@ type ConfigSpec struct {
 	NumTrees int `json:"num_trees,omitempty"`
 	// MaxLoCFrac bounds retained per-v-pin candidate lists (0 = 0.15).
 	MaxLoCFrac float64 `json:"max_loc_frac,omitempty"`
+	// MaxLoCCount additionally caps retained lists at an absolute length
+	// (0 = no absolute cap) — the memory bound for industrial-tier jobs.
+	MaxLoCCount int `json:"max_loc_count,omitempty"`
+	// ShardVpins is the spatial-region size of the streamed scoring stage
+	// (0 = automatic). Results are bit-identical for every value.
+	ShardVpins int `json:"shard_vpins,omitempty"`
 	// TrainCap bounds training samples (0 = unlimited).
 	TrainCap int `json:"train_cap,omitempty"`
 	// ScalarScoring disables the batched scoring fast path (results are
@@ -139,6 +149,12 @@ func (cs ConfigSpec) resolve() (attack.Config, error) {
 	if cs.MaxLoCFrac != 0 {
 		cfg.MaxLoCFrac = cs.MaxLoCFrac
 	}
+	if cs.MaxLoCCount != 0 {
+		cfg.MaxLoCCount = cs.MaxLoCCount
+	}
+	if cs.ShardVpins != 0 {
+		cfg.ShardVpins = cs.ShardVpins
+	}
 	if cs.TrainCap != 0 {
 		cfg.TrainCap = cs.TrainCap
 	}
@@ -167,6 +183,12 @@ func (s *Server) normalize(spec JobSpec) (JobSpec, error) {
 	}
 	if spec.Layer < 1 || spec.Layer > 8 {
 		return spec, fmt.Errorf("layer %d out of range 1..8", spec.Layer)
+	}
+	if spec.Tier == "" {
+		spec.Tier = s.opts.DefaultTier
+	}
+	if !layout.ValidTier(spec.Tier) {
+		return spec, fmt.Errorf("unknown tier %q (want %v)", spec.Tier, layout.Tiers())
 	}
 	if spec.Scale == 0 {
 		spec.Scale = s.opts.DefaultScale
@@ -207,19 +229,19 @@ func (s *Server) normalize(spec JobSpec) (JobSpec, error) {
 	if spec.Design == "" {
 		return spec, fmt.Errorf("%s jobs need a target design", spec.Kind)
 	}
-	names := suiteDesigns(spec.Scale, *spec.Seed)
+	names := suiteDesigns(spec.Tier, spec.Scale, *spec.Seed)
 	for _, n := range names {
 		if n == spec.Design {
 			return spec, nil
 		}
 	}
-	return spec, fmt.Errorf("unknown design %q (suite has %v)", spec.Design, names)
+	return spec, fmt.Errorf("unknown design %q (%s tier has %v)", spec.Design, spec.Tier, names)
 }
 
 // suiteDesigns lists the design names of the synthetic suite at one
-// (scale, seed) without generating it.
-func suiteDesigns(scale float64, seed int64) []string {
-	profiles := layout.SuiteProfiles(layout.SuiteConfig{Scale: scale, Seed: seed})
+// (tier, scale, seed) without generating it.
+func suiteDesigns(tier string, scale float64, seed int64) []string {
+	profiles := layout.SuiteProfiles(layout.SuiteConfig{Tier: tier, Scale: scale, Seed: seed})
 	names := make([]string, len(profiles))
 	for i, p := range profiles {
 		names[i] = p.Name
