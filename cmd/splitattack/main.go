@@ -34,6 +34,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/split"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -204,6 +205,20 @@ func runAttack(args []string) {
 		if err == nil {
 			fmt.Printf("scoring with artifact %s (spec %.12s, trained by %s)\n",
 				*modelPath, art.Meta.SpecHash, art.Meta.Version)
+		}
+	} else if ck := s.app.Checkpoint(); ck != nil && cfg.OptionsHash() != "" {
+		// Checkpointed single-target run: the fold is saved as (or served
+		// from) the same work unit an `experiments -shard` worker or a sweep
+		// job would produce at these coordinates, so the commands compose.
+		u := sweep.Unit{
+			Prov:   sweep.Provenance{Tier: s.app.Tier, Scale: s.app.Scale, Seed: s.app.Seed},
+			Config: cfg.Name, Spec: cfg.OptionsHash(),
+			Layer: s.layer, Fold: s.target, Design: s.design,
+		}
+		var outcome sweep.Outcome
+		ev, radiusNorm, outcome, err = sweep.RunUnit(o, ck, u, cfg, s.insts)
+		if err == nil {
+			fmt.Printf("checkpoint %s: unit %s %s\n", ck.Dir(), u.Key(), outcome)
 		}
 	} else {
 		// Single-target entry point: only the held-out design's model is

@@ -43,6 +43,8 @@ func main() {
 	pool := fs.Int("pool", serve.DefaultPool, "concurrently running jobs")
 	queue := fs.Int("queue", serve.DefaultQueue, "pending-job queue bound; overflow is rejected with 429")
 	state := fs.String("state", "", "state directory for job/result persistence across restarts (empty = memory only)")
+	checkpoint := fs.String("checkpoint", "",
+		"sweep checkpoint directory for per-fold partials (sharded sweep jobs; default <state>/checkpoints when -state is set)")
 	o := app.Parse(os.Args[1:])
 	if o == nil {
 		// The server always carries an obs context: /metrics and /progress
@@ -51,15 +53,16 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Options{
-		Obs:          o,
-		Store:        app.ModelStore(),
-		Workers:      app.Workers(),
-		Pool:         *pool,
-		Queue:        *queue,
-		StateDir:     *state,
-		DefaultTier:  app.Tier,
-		DefaultScale: app.Scale,
-		DefaultSeed:  app.Seed,
+		Obs:           o,
+		Store:         app.ModelStore(),
+		Workers:       app.Workers(),
+		Pool:          *pool,
+		Queue:         *queue,
+		StateDir:      *state,
+		CheckpointDir: *checkpoint,
+		DefaultTier:   app.Tier,
+		DefaultScale:  app.Scale,
+		DefaultSeed:   app.Seed,
 	})
 	if err != nil {
 		cli.Fatal(err)

@@ -1,0 +1,39 @@
+package attack
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// OptionsHash is a canonical content address over every configuration field
+// that can change an Evaluation's bits: the display name (it is digested
+// into every Evaluation), the feature set, the sampling and pruning
+// refinements, the base classifier, and the retention bounds. Fields that
+// are documented not to change results — Seed (a run input, not a config
+// property), Workers, ShardVpins, ScalarScoring, observability, and the
+// model store — are excluded, so two configs with equal hashes run to
+// bit-identical evaluations given the same instances, seed, and fold.
+//
+// The sweep layer uses this hash as the config coordinate of its
+// content-addressed work units; a custom Learner has no canonical serialized
+// form, so such configurations hash to "" and are never checkpointed.
+func (c Config) OptionsHash() string {
+	if c.Learner != nil {
+		return ""
+	}
+	c = c.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "attack-config/v1\n")
+	fmt.Fprintf(&b, "name=%s\n", c.Name)
+	fmt.Fprintf(&b, "features=%v\n", c.Features)
+	fmt.Fprintf(&b, "neighborhood=%t quantile=%016x ylimit=%t twolevel=%t\n",
+		c.Neighborhood, math.Float64bits(c.NeighborQuantile), c.LimitDiffVpinY, c.TwoLevel)
+	fmt.Fprintf(&b, "base=%d trees=%d traincap=%d\n", c.BaseKind, c.NumTrees, c.TrainCap)
+	fmt.Fprintf(&b, "maxlocfrac=%016x maxloccount=%d\n",
+		math.Float64bits(c.MaxLoCFrac), c.MaxLoCCount)
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,63 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ml"
+)
+
+func TestOptionsHashStableAndDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, cfg := range append(StandardConfigs(), StandardConfigsY()...) {
+		h := cfg.OptionsHash()
+		if h == "" {
+			t.Fatalf("%s: empty hash for a standard config", cfg.Name)
+		}
+		if h != cfg.OptionsHash() {
+			t.Fatalf("%s: hash not deterministic", cfg.Name)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("configs %s and %s share hash %s", prev, cfg.Name, h)
+		}
+		seen[h] = cfg.Name
+	}
+}
+
+func TestOptionsHashIgnoresRunInputs(t *testing.T) {
+	a := Imp11()
+	b := Imp11()
+	b.Seed = 42
+	b.Workers = 7
+	b.ShardVpins = 128
+	b.ScalarScoring = true
+	if a.OptionsHash() != b.OptionsHash() {
+		t.Error("run inputs (seed/workers/sharding/scalar) changed the options hash")
+	}
+	c := Imp11()
+	c.NumTrees = 3
+	if a.OptionsHash() == c.OptionsHash() {
+		t.Error("NumTrees did not change the options hash")
+	}
+	d := WithBase(Imp11(), ml.RandomTree, 0)
+	if a.OptionsHash() == d.OptionsHash() {
+		t.Error("base classifier did not change the options hash")
+	}
+}
+
+func TestOptionsHashDefaultsApplied(t *testing.T) {
+	a := Imp11()
+	b := Imp11()
+	b = b.withDefaults()
+	if a.OptionsHash() != b.OptionsHash() {
+		t.Error("a config and its defaults-applied form must hash identically")
+	}
+}
+
+func TestOptionsHashLearnerNotAddressable(t *testing.T) {
+	cfg := Imp11()
+	cfg.Learner = func(ds *ml.Dataset, c Config, r *rand.Rand) (Scorer, error) { return nil, nil }
+	if cfg.OptionsHash() != "" {
+		t.Error("custom-Learner config must hash to \"\" (not content-addressable)")
+	}
+}

@@ -200,6 +200,21 @@ func RunTarget(cfg Config, chs []*split.Challenge, target int) (*Evaluation, flo
 
 // RunTargetInstances is RunTarget on already-prepared instances.
 func RunTargetInstances(cfg Config, insts []*Instance, target int) (*Evaluation, float64, error) {
+	if cfg.Obs != nil && target >= 0 && target < len(insts) {
+		cfg.Obs.Log().Info("single-target attack: skipping sibling leave-one-out runs",
+			"config", cfg.Name, "target", insts[target].Ch.Design.Name, "targets_skipped", len(insts)-1)
+	}
+	return RunFoldInstances(cfg, insts, target)
+}
+
+// RunFoldInstances is the fold primitive of the sweep layer: it runs exactly
+// one leave-one-out fold — train on every instance except target, score
+// target — and returns the fold's evaluation and neighborhood radius. It is
+// RunTargetInstances without the single-target framing: bit-identical to
+// RunInstances(cfg, insts).Evals[target] at any worker count, which is what
+// lets a full leave-one-out run be decomposed into independently scheduled
+// (and independently checkpointed) fold units and recombined exactly.
+func RunFoldInstances(cfg Config, insts []*Instance, target int) (*Evaluation, float64, error) {
 	cfg, err := prepareRun(cfg, insts)
 	if err != nil {
 		return nil, 0, err
@@ -207,9 +222,6 @@ func RunTargetInstances(cfg Config, insts []*Instance, target int) (*Evaluation,
 	if target < 0 || target >= len(insts) {
 		return nil, 0, fmt.Errorf("attack: target %d out of range 0..%d", target, len(insts)-1)
 	}
-	o := cfg.Obs
-	o.Log().Info("single-target attack: skipping sibling leave-one-out runs",
-		"config", cfg.Name, "target", insts[target].Ch.Design.Name, "targets_skipped", len(insts)-1)
 	return runTarget(cfg, insts, target, 0, nil)
 }
 

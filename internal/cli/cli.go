@@ -20,6 +20,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/sweep"
 )
 
 // osExit is swapped out by tests that exercise the exit paths.
@@ -43,6 +44,11 @@ type App struct {
 	// directory of the trained-artifact store built by ModelStore.
 	ModelCache    int
 	ModelCacheDir string
+	// CheckpointDir is the -checkpoint-dir value after Parse: the sweep
+	// checkpoint directory for per-fold partial results (resume after a
+	// kill, shard across processes, merge deterministically). Empty
+	// disables checkpointing.
+	CheckpointDir string
 
 	fs *flag.FlagSet
 }
@@ -59,8 +65,23 @@ func New(name string, fs *flag.FlagSet) *App {
 		"in-memory trained-model cache capacity (0 = default)")
 	fs.StringVar(&a.ModelCacheDir, "model-cache-dir", "",
 		"on-disk trained-model cache directory; artifacts persist across runs (empty = memory only)")
+	fs.StringVar(&a.CheckpointDir, "checkpoint-dir", "",
+		"sweep checkpoint directory: per-fold partial results for resume, sharding, and merge (empty = off)")
 	a.Obs.Register(fs)
 	return a
+}
+
+// Checkpoint opens the sweep checkpoint implied by -checkpoint-dir, or nil
+// when the flag is unset. Open errors terminate the process.
+func (a *App) Checkpoint() *sweep.Checkpoint {
+	if a.CheckpointDir == "" {
+		return nil
+	}
+	ck, err := sweep.Open(a.CheckpointDir)
+	if err != nil {
+		Fatal(err)
+	}
+	return ck
 }
 
 // ModelStore builds the trained-artifact store implied by the

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/layout"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/priorwork"
 	"repro/internal/split"
+	"repro/internal/sweep"
 )
 
 // Suite is the generated benchmark suite plus caches of challenges and
@@ -45,6 +47,19 @@ type Suite struct {
 	// Obs, when non-nil, receives cache hit/miss counters, spans, and logs
 	// from every suite operation and is propagated into attack runs.
 	Obs *obs.Context
+
+	// Checkpoint, when non-nil, persists every leave-one-out fold as a
+	// content-addressed unit file (see internal/sweep): folds already in the
+	// checkpoint are loaded instead of recomputed — bit-identically — which
+	// is both the resume path for killed runs and the merge path combining
+	// partials that other shards (or machines) computed. Configurations
+	// with custom Learners are never checkpointed.
+	Checkpoint *sweep.Checkpoint
+	// Shard restricts RunPlan to the units this shard owns (the "-shard
+	// i/n" partition). The zero value owns everything. Run/RunNoisy ignore
+	// it: a rendering run always needs every fold, loading what shards
+	// computed and computing only what is missing.
+	Shard sweep.Shard
 
 	mu    sync.Mutex
 	chs   map[int][]*split.Challenge
@@ -95,6 +110,29 @@ func NewSuiteTier(o *obs.Context, tier string, scale float64, seed int64, worker
 	s.Workers = workers
 	s.Obs = o
 	return s, nil
+}
+
+// SetModelStore replaces the suite's trained-artifact store. Commands use
+// this to wire the -model-cache/-model-cache-dir flags in: with a shared
+// on-disk directory, concurrent shards (separate processes, even separate
+// machines) train each unique fold spec exactly once and load it everywhere
+// else. A nil store is ignored.
+func (s *Suite) SetModelStore(st *model.Store) {
+	if st == nil {
+		return
+	}
+	s.mu.Lock()
+	s.models = st
+	s.mu.Unlock()
+}
+
+// provenance pins the suite shape for sweep units.
+func (s *Suite) provenance() sweep.Provenance {
+	tier := s.Tier
+	if tier == "" {
+		tier = layout.TierStandard
+	}
+	return sweep.Provenance{Tier: tier, Scale: s.Scale, Seed: s.Seed}
 }
 
 // cacheLookup records a suite-cache outcome on the metrics registry.
@@ -229,7 +267,7 @@ func (s *Suite) Run(cfg attack.Config, layer int) (*attack.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := attack.RunInstances(s.prepare(cfg), insts)
+	r, err := s.runFolds(cfg, layer, 0, insts)
 	if err != nil {
 		return nil, err
 	}
@@ -237,6 +275,74 @@ func (s *Suite) Run(cfg attack.Config, layer int) (*attack.Result, error) {
 	s.runs[key] = r
 	s.mu.Unlock()
 	return r, nil
+}
+
+// runFolds executes a full leave-one-out run of cfg fold by fold on the
+// suite's worker pool, assembling the per-fold evaluations into one
+// attack.Result. Each fold goes through runFold — and therefore through the
+// checkpoint when one is configured — and is bit-identical to the matching
+// entry of a monolithic attack.RunInstances call, so decomposition (and any
+// mix of loaded and computed folds) never changes results.
+func (s *Suite) runFolds(cfg attack.Config, layer int, sd float64, insts []*attack.Instance) (*attack.Result, error) {
+	pcfg := s.prepare(cfg)
+	start := time.Now()
+	res := &attack.Result{
+		Config:     pcfg,
+		Evals:      make([]*attack.Evaluation, len(insts)),
+		RadiusNorm: make([]float64, len(insts)),
+	}
+	name := fmt.Sprintf("attack.%s.L%d", pcfg.Name, layer)
+	if sd != 0 {
+		name += fmt.Sprintf(".noise%g", sd)
+	}
+	err := s.sweep(name, len(insts), func(fold int) error {
+		res.RadiusNorm[fold] = -1
+		ev, radius, err := s.runFold(pcfg, layer, sd, insts, fold)
+		if err != nil {
+			return err
+		}
+		res.Evals[fold] = ev
+		res.RadiusNorm[fold] = radius
+		return nil
+	})
+	res.TotalDur = time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s at layer %d: %w", pcfg.Name, layer, err)
+	}
+	return res, nil
+}
+
+// runFold runs one leave-one-out fold, serving it from (and saving it to)
+// the checkpoint when the suite has one and the configuration is
+// content-addressable.
+func (s *Suite) runFold(pcfg attack.Config, layer int, sd float64,
+	insts []*attack.Instance, fold int) (*attack.Evaluation, float64, error) {
+
+	if s.Checkpoint != nil {
+		if u, ok := s.unit(pcfg, layer, sd, fold); ok {
+			ev, radius, _, err := sweep.RunUnit(s.Obs, s.Checkpoint, u, pcfg, insts)
+			return ev, radius, err
+		}
+	}
+	return attack.RunFoldInstances(pcfg, insts, fold)
+}
+
+// unit builds the sweep work unit of one fold; ok is false for
+// configurations that cannot be content-addressed (custom Learners).
+func (s *Suite) unit(pcfg attack.Config, layer int, sd float64, fold int) (sweep.Unit, bool) {
+	spec := pcfg.OptionsHash()
+	if spec == "" {
+		return sweep.Unit{}, false
+	}
+	return sweep.Unit{
+		Prov:   s.provenance(),
+		Config: pcfg.Name,
+		Spec:   spec,
+		Layer:  layer,
+		Noise:  sd,
+		Fold:   fold,
+		Design: s.Designs[fold].Name,
+	}, true
 }
 
 // RunPA executes (and caches) the validation-based proximity attack of cfg
@@ -299,7 +405,7 @@ func (s *Suite) RunNoisy(cfg attack.Config, layer int, sd float64) (*attack.Resu
 	if err != nil {
 		return nil, err
 	}
-	r, err := attack.RunInstances(s.prepare(cfg), insts)
+	r, err := s.runFolds(cfg, layer, sd, insts)
 	if err != nil {
 		return nil, err
 	}
@@ -407,22 +513,30 @@ type Experiment struct {
 	Title string
 	// Run writes the reproduction to w.
 	Run func(s *Suite, w io.Writer) error
+	// Deps enumerates the leave-one-out attack runs the experiment consumes
+	// (see plan.go), which is what lets a sweep over experiments decompose
+	// into shardable work units before anything executes. Nil means the
+	// experiment needs no attack runs (fig4/7/8) or its runs cannot be
+	// enumerated up front (out-of-suite defense variants). Deps only covers
+	// the attack-run stage: proximity validation and rendering always run
+	// in the merge process, on top of checkpointed folds.
+	Deps func() []RunSpec
 }
 
 // All returns every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{ID: "table1", Title: "Table I: comparison with prior work [5] across split layers", Run: TableI},
-		{ID: "table2", Title: "Table II: RandomTree vs REPTree base classifiers (Imp-7)", Run: TableII},
-		{ID: "table3", Title: "Table III: two-level pruning vs no pruning (Imp-11, layer 8)", Run: TableIII},
-		{ID: "table4", Title: "Table IV: model configurations, LoC/accuracy trade-offs, runtime", Run: TableIV},
-		{ID: "table5", Title: "Table V: proximity attack success rates", Run: TableV},
-		{ID: "table6", Title: "Table VI: proximity attack under design obfuscation", Run: TableVI},
+		{ID: "table1", Title: "Table I: comparison with prior work [5] across split layers", Run: TableI, Deps: depsTableI},
+		{ID: "table2", Title: "Table II: RandomTree vs REPTree base classifiers (Imp-7)", Run: TableII, Deps: depsTableII},
+		{ID: "table3", Title: "Table III: two-level pruning vs no pruning (Imp-11, layer 8)", Run: TableIII, Deps: depsTableIII},
+		{ID: "table4", Title: "Table IV: model configurations, LoC/accuracy trade-offs, runtime", Run: TableIV, Deps: depsTableIV},
+		{ID: "table5", Title: "Table V: proximity attack success rates", Run: TableV, Deps: depsTableIV},
+		{ID: "table6", Title: "Table VI: proximity attack under design obfuscation", Run: TableVI, Deps: depsNoise},
 		{ID: "fig4", Title: "Fig. 4: CDF of matched-pair ManhattanVpin (layer 6)", Run: Fig4},
 		{ID: "fig7", Title: "Fig. 7: feature importance rankings across layers", Run: Fig7},
 		{ID: "fig8", Title: "Fig. 8: feature distributions by class (layer 6)", Run: Fig8},
-		{ID: "fig9", Title: "Fig. 9: LoC-fraction vs accuracy trade-off curves", Run: Fig9},
-		{ID: "fig10", Title: "Fig. 10: trade-off curves with and without obfuscation noise", Run: Fig10},
+		{ID: "fig9", Title: "Fig. 9: LoC-fraction vs accuracy trade-off curves", Run: Fig9, Deps: depsTableIV},
+		{ID: "fig10", Title: "Fig. 10: trade-off curves with and without obfuscation noise", Run: Fig10, Deps: depsNoise},
 	}
 }
 

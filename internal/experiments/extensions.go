@@ -22,9 +22,9 @@ import (
 // extExperiments returns the extension experiments.
 func extExperiments() []Experiment {
 	return []Experiment{
-		{ID: "ext-classifiers", Title: "Extension: classifier bake-off (Bagging/REPTree vs RandomForest vs logistic)", Run: ExtClassifiers},
-		{ID: "ext-defense", Title: "Extension: layout-level defenses (routing perturbation, wire lifting, trunk jogs) vs attack", Run: ExtDefense},
-		{ID: "ext-recovery", Title: "Extension: functional netlist recovery from PA pairings (logic simulation)", Run: ExtRecovery},
+		{ID: "ext-classifiers", Title: "Extension: classifier bake-off (Bagging/REPTree vs RandomForest vs logistic)", Run: ExtClassifiers, Deps: depsExtClassifiers},
+		{ID: "ext-defense", Title: "Extension: layout-level defenses (routing perturbation, wire lifting, trunk jogs) vs attack", Run: ExtDefense, Deps: depsExtDefense},
+		{ID: "ext-recovery", Title: "Extension: functional netlist recovery from PA pairings (logic simulation)", Run: ExtRecovery, Deps: depsExtRecovery},
 	}
 }
 

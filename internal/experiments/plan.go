@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/attack"
+	"repro/internal/ml"
+	"repro/internal/sweep"
+)
+
+// RunSpec names one leave-one-out attack run an experiment depends on: a
+// configuration at a (split layer, noise) coordinate. Specs are the bridge
+// between the experiment registry and the sweep work-unit layer: each spec
+// expands into one unit per suite design (fold).
+type RunSpec struct {
+	Config attack.Config
+	Layer  int
+	Noise  float64
+}
+
+// Deps enumerations per experiment. Each mirrors exactly the Run/RunNoisy
+// calls its renderer makes (see tables.go, figures.go, extensions.go), so a
+// sharded plan pre-computes precisely the folds the merge run will load.
+
+func depsTableI() []RunSpec {
+	return crossLayers(attack.StandardConfigs(), tableLayers)
+}
+
+func depsTableII() []RunSpec {
+	rf := attack.WithBase(attack.Imp7(), ml.RandomTree, 0)
+	rf.Name = "Imp-7-RandomTree"
+	return crossLayers([]attack.Config{rf, attack.Imp7()}, []int{8, 6})
+}
+
+func depsTableIII() []RunSpec {
+	two := attack.WithTwoLevel(attack.Imp11())
+	two.Name = "Imp-11-2L"
+	return crossLayers([]attack.Config{two, attack.Imp11()}, []int{8})
+}
+
+func depsTableIV() []RunSpec {
+	var out []RunSpec
+	for _, layer := range tableLayers {
+		out = append(out, crossLayers(tableIVConfigs(layer), []int{layer})...)
+	}
+	return out
+}
+
+// depsNoise covers Table VI and Fig. 10: Imp-11 with and without Gaussian
+// y-noise obfuscation at the two lower split layers.
+func depsNoise() []RunSpec {
+	var out []RunSpec
+	for _, layer := range []int{6, 4} {
+		for _, sd := range []float64{0, 0.01, 0.02} {
+			out = append(out, RunSpec{Config: attack.Imp11(), Layer: layer, Noise: sd})
+		}
+	}
+	return out
+}
+
+func depsExtClassifiers() []RunSpec {
+	// The logistic variant carries a custom Learner and is not
+	// content-addressable; PlanRuns would drop it anyway, so only the two
+	// plannable classifiers are listed. The merge run computes logistic
+	// folds itself.
+	forest := attack.WithBase(attack.Imp11(), ml.RandomTree, 0)
+	forest.Name = "Imp-11-RandomForest"
+	return crossLayers([]attack.Config{attack.Imp11(), forest}, []int{8, 6})
+}
+
+func depsExtDefense() []RunSpec {
+	// Only the undefended baseline runs against the suite's own challenges;
+	// the defense variants mutate layouts out-of-suite and cannot be
+	// checkpointed as units.
+	return crossLayers([]attack.Config{attack.Imp11()}, []int{6})
+}
+
+func depsExtRecovery() []RunSpec {
+	return crossLayers([]attack.Config{attack.WithY(attack.Imp9())}, []int{8})
+}
+
+// crossLayers expands configs × layers into clean (noise-0) run specs.
+func crossLayers(configs []attack.Config, layers []int) []RunSpec {
+	out := make([]RunSpec, 0, len(configs)*len(layers))
+	for _, layer := range layers {
+		for _, cfg := range configs {
+			out = append(out, RunSpec{Config: cfg, Layer: layer})
+		}
+	}
+	return out
+}
+
+// PlanUnit is one entry of an executable plan: the sweep work unit plus the
+// prepared configuration that computes it.
+type PlanUnit struct {
+	Unit   sweep.Unit
+	Config attack.Config
+}
+
+// PlanRuns expands run specs into the suite's work units: one unit per
+// (spec × fold), deduplicated across specs (experiments share runs — Tables
+// IV and V and Fig. 9 all consume the same sweeps) and skipping
+// configurations that are not content-addressable (custom Learners).
+// Enumeration is deterministic: same suite, same specs, same plan.
+func (s *Suite) PlanRuns(runs []RunSpec) []PlanUnit {
+	var units []PlanUnit
+	seen := map[string]bool{}
+	for _, r := range runs {
+		pcfg := s.prepare(r.Config)
+		if pcfg.OptionsHash() == "" {
+			continue
+		}
+		runKey := fmt.Sprintf("%s@%d/%g", pcfg.Name, r.Layer, r.Noise)
+		if seen[runKey] {
+			continue
+		}
+		seen[runKey] = true
+		for fold := range s.Designs {
+			u, ok := s.unit(pcfg, r.Layer, r.Noise, fold)
+			if !ok {
+				continue
+			}
+			units = append(units, PlanUnit{Unit: u, Config: pcfg})
+		}
+	}
+	return units
+}
+
+// Plan enumerates the work units of a set of experiments by concatenating
+// their Deps and expanding with PlanRuns. Experiments without Deps (pure
+// feature figures, out-of-suite defense variants) contribute nothing: their
+// rendering work always happens in the merge process.
+func (s *Suite) Plan(exps []Experiment) []PlanUnit {
+	var runs []RunSpec
+	for _, e := range exps {
+		if e.Deps != nil {
+			runs = append(runs, e.Deps()...)
+		}
+	}
+	return s.PlanRuns(runs)
+}
+
+// PlanStats summarises a RunPlan execution.
+type PlanStats struct {
+	// Planned is the total unit count of the plan, across all shards.
+	Planned int
+	// Owned is how many units this suite's shard was responsible for.
+	Owned int
+	// Computed units ran the attack engine (includes Recomputed).
+	Computed int
+	// Loaded units were served from valid checkpoint files.
+	Loaded int
+	// Recomputed units had a corrupt checkpoint file discarded first.
+	Recomputed int
+}
+
+// String renders the stats for command output.
+func (st PlanStats) String() string {
+	return fmt.Sprintf("planned=%d owned=%d computed=%d loaded=%d recomputed=%d",
+		st.Planned, st.Owned, st.Computed, st.Loaded, st.Recomputed)
+}
+
+// RunPlan executes the units of the plan that the suite's Shard owns,
+// checkpointing every completed fold. It is the shard worker's entry point:
+// enumerate (Plan), filter by ownership, compute-or-skip each unit, and exit
+// — rendering happens later, in a merge run that loads the union of all
+// shards' partials. Requires a Checkpoint (a sharded run without one would
+// compute results and throw them away).
+func (s *Suite) RunPlan(units []PlanUnit) (PlanStats, error) {
+	st := PlanStats{Planned: len(units)}
+	if s.Checkpoint == nil {
+		return st, fmt.Errorf("experiments: RunPlan needs a checkpoint directory to write partial results to")
+	}
+	if err := s.Shard.Validate(); err != nil {
+		return st, err
+	}
+	var owned []PlanUnit
+	for _, u := range units {
+		if s.Shard.Owns(u.Unit.Key()) {
+			owned = append(owned, u)
+		}
+	}
+	st.Owned = len(owned)
+
+	name := "shard"
+	if sh := s.Shard.String(); sh != "" {
+		name = "shard." + strings.ReplaceAll(sh, "/", "of")
+	}
+	var mu sync.Mutex
+	err := s.sweep(name, len(owned), func(i int) error {
+		u := owned[i]
+		insts, err := s.Instances(u.Unit.Layer, u.Unit.Noise)
+		if err != nil {
+			return err
+		}
+		_, _, outcome, err := sweep.RunUnit(s.Obs, s.Checkpoint, u.Unit, u.Config, insts)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		switch outcome {
+		case sweep.Loaded:
+			st.Loaded++
+		case sweep.Recomputed:
+			st.Recomputed++
+			st.Computed++
+		default:
+			st.Computed++
+		}
+		mu.Unlock()
+		return nil
+	})
+	return st, err
+}

@@ -95,12 +95,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	obs.ServeJSON(noStatusWriter{w}, s.Status(job))
 }
 
-// handleList serves every job's status, submission-ordered.
+// handleList serves every job's status, submission-ordered. An optional
+// ?state= query keeps only jobs in that lifecycle state (400 on an unknown
+// one); omitted, every job is listed.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := JobState(r.URL.Query().Get("state"))
+	if filter != "" && !validState(filter) {
+		writeError(w, http.StatusBadRequest, "invalid_spec",
+			"unknown state %q (want pending, running, done, failed, cancelled, or interrupted)", filter)
+		return
+	}
 	jobs := s.Jobs()
-	statuses := make([]JobStatus, len(jobs))
-	for i, job := range jobs {
-		statuses[i] = s.Status(job)
+	statuses := make([]JobStatus, 0, len(jobs))
+	for _, job := range jobs {
+		st := s.Status(job)
+		if filter != "" && st.State != filter {
+			continue
+		}
+		statuses = append(statuses, st)
 	}
 	obs.ServeJSON(w, statuses)
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sweep"
 )
 
 // JobState is one point of the job lifecycle:
@@ -31,6 +32,16 @@ const (
 // Terminal reports whether the state is final.
 func (st JobState) Terminal() bool {
 	return st == StateDone || st == StateFailed || st == StateCancelled || st == StateInterrupted
+}
+
+// validState reports whether st names a lifecycle state (the ?state= list
+// filter rejects anything else).
+func validState(st JobState) bool {
+	switch st {
+	case StatePending, StateRunning, StateDone, StateFailed, StateCancelled, StateInterrupted:
+		return true
+	}
+	return false
 }
 
 // Job is one submitted unit of work. Fields are guarded by the owning
@@ -64,10 +75,13 @@ func (j *Job) Wait(ctx context.Context) error {
 // JobStatus is the wire form of a job returned by GET /jobs and
 // GET /jobs/{id}.
 type JobStatus struct {
-	ID       string     `json:"id"`
-	Kind     JobKind    `json:"kind"`
-	State    JobState   `json:"state"`
-	Stage    string     `json:"stage,omitempty"`
+	ID    string   `json:"id"`
+	Kind  JobKind  `json:"kind"`
+	State JobState `json:"state"`
+	Stage string   `json:"stage,omitempty"`
+	// Shard is the sweep partition this job computes ("i/n"); empty for
+	// unsharded jobs.
+	Shard    string     `json:"shard,omitempty"`
 	Created  time.Time  `json:"created"`
 	Started  *time.Time `json:"started,omitempty"`
 	Finished *time.Time `json:"finished,omitempty"`
@@ -90,6 +104,7 @@ func (s *Server) Status(job *Job) JobStatus {
 		Kind:    job.Spec.Kind,
 		State:   job.State,
 		Stage:   job.Stage,
+		Shard:   sweep.Shard{Index: job.Spec.Shard, Count: job.Spec.Of}.String(),
 		Created: job.Created,
 		Error:   job.Err,
 		Spec:    job.Spec,

@@ -89,10 +89,32 @@ type ProximityResult struct {
 	ValidationNS int64   `json:"validation_ns"`
 }
 
-// SweepResult aggregates a full leave-one-out sweep per configuration.
+// SweepResult aggregates a full leave-one-out sweep per configuration. A
+// sharded sweep job (spec shard/of set) reports only its unit statistics:
+// its folds live in the server's checkpoint, and a later full sweep job
+// merges them into Configs.
 type SweepResult struct {
-	Layer   int                 `json:"layer"`
-	Configs []SweepConfigResult `json:"configs"`
+	Layer int `json:"layer"`
+	// Shard and Of echo a sharded job's partition (0/0 for a full sweep).
+	Shard int `json:"shard,omitempty"`
+	Of    int `json:"of,omitempty"`
+	// Units summarises a sharded job's work; nil for a full sweep.
+	Units   *UnitStats          `json:"units,omitempty"`
+	Configs []SweepConfigResult `json:"configs,omitempty"`
+}
+
+// UnitStats counts a sharded sweep job's work units.
+type UnitStats struct {
+	// Owned is how many of the sweep's units this shard was responsible
+	// for under the content-addressed partition.
+	Owned int `json:"owned"`
+	// Done units ran the attack engine (includes Recomputed).
+	Done int `json:"done"`
+	// Skipped units were already checkpointed — a resumed job finding its
+	// earlier work, or another process sharing the directory.
+	Skipped int `json:"skipped"`
+	// Recomputed units had a corrupt checkpoint file discarded first.
+	Recomputed int `json:"recomputed"`
 }
 
 // SweepConfigResult is one configuration's leave-one-out outcome: a

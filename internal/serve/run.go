@@ -2,13 +2,18 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/attack"
 	"repro/internal/obs"
+	"repro/internal/sweep"
 )
 
 // execute runs one job end to end. Cancellation is checked at every stage
@@ -175,12 +180,19 @@ func (s *Server) runAttack(ctx context.Context, job *Job, spec JobSpec,
 	return res, nil
 }
 
-// runSweep runs the full leave-one-out attack for every configuration,
-// checking for cancellation between configurations.
+// runSweep runs the leave-one-out sweep of every configuration, checking
+// for cancellation between configurations. A full sweep (no shard/of)
+// computes — or, when the server has a checkpoint, loads — every fold and
+// returns per-configuration aggregates; a sharded sweep computes only the
+// work units its partition owns into the checkpoint and returns unit
+// statistics, leaving aggregation to a later full sweep job.
 func (s *Server) runSweep(ctx context.Context, job *Job, spec JobSpec,
 	insts []*attack.Instance, prog *obs.Progress) (*SweepResult, error) {
 
-	res := &SweepResult{Layer: spec.Layer}
+	res := &SweepResult{Layer: spec.Layer, Shard: spec.Shard, Of: spec.Of}
+	sh := sweep.Shard{Index: spec.Shard, Count: spec.Of}
+	sharded := spec.Of > 0
+	var stats UnitStats
 	for i, cs := range spec.Configs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -191,28 +203,152 @@ func (s *Server) runSweep(ctx context.Context, job *Job, spec JobSpec,
 		}
 		cfg = s.engineCfg(cfg, spec)
 		s.setStage(job, fmt.Sprintf("sweep %d/%d: %s", i+1, len(spec.Configs), cfg.Name))
-		r, err := attack.RunInstances(cfg, insts)
+		if sharded {
+			err = s.sweepShardConfig(ctx, spec, cfg, sh, insts, &stats)
+		} else {
+			var cr *SweepConfigResult
+			if cr, err = s.sweepConfig(ctx, spec, cfg, insts); err == nil {
+				res.Configs = append(res.Configs, *cr)
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
-		cr := SweepConfigResult{
-			Config:      cfg.Name,
-			MeanTrainNS: int64(r.MeanTrainDur()),
-			MeanTestNS:  int64(r.MeanTestDur()),
-		}
-		for _, ev := range r.Evals {
-			cr.Designs = append(cr.Designs, DesignSummary{
-				Design:      ev.Design,
-				VPins:       ev.N,
-				MaxAccuracy: ev.MaxAccuracy(),
-				EvalDigest:  ev.Digest(),
-			})
-		}
-		for _, pt := range attack.Curve(r.Evals, attack.CurveFractions()) {
-			cr.Curve = append(cr.Curve, CurvePoint{LoCFrac: pt.LoCFrac, Accuracy: pt.Accuracy})
-		}
-		res.Configs = append(res.Configs, cr)
 		prog.Add(1)
 	}
+	if sharded {
+		res.Units = &stats
+	}
 	return res, nil
+}
+
+// sweepUnit builds the work unit of one sweep fold. Its key is identical to
+// the unit an `experiments -shard` worker builds at the same (tier, scale,
+// seed, config, layer, fold) coordinates, so server jobs and CLI shards can
+// split one sweep through a shared checkpoint directory.
+func sweepUnit(spec JobSpec, cfg attack.Config, fold int, insts []*attack.Instance) (sweep.Unit, bool) {
+	h := cfg.OptionsHash()
+	if h == "" {
+		return sweep.Unit{}, false
+	}
+	return sweep.Unit{
+		Prov:   sweep.Provenance{Tier: spec.Tier, Scale: spec.Scale, Seed: *spec.Seed},
+		Config: cfg.Name,
+		Spec:   h,
+		Layer:  spec.Layer,
+		Fold:   fold,
+		Design: insts[fold].Ch.Design.Name,
+	}, true
+}
+
+// sweepShardConfig computes the owned folds of one configuration into the
+// server's checkpoint (normalize guarantees one exists for sharded jobs),
+// accumulating unit statistics.
+func (s *Server) sweepShardConfig(ctx context.Context, spec JobSpec, cfg attack.Config,
+	sh sweep.Shard, insts []*attack.Instance, stats *UnitStats) error {
+
+	for fold := range insts {
+		u, ok := sweepUnit(spec, cfg, fold, insts)
+		if !ok || !sh.Owns(u.Key()) {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		stats.Owned++
+		_, _, outcome, err := sweep.RunUnit(s.o, s.ck, u, cfg, insts)
+		if err != nil {
+			return err
+		}
+		switch outcome {
+		case sweep.Loaded:
+			stats.Skipped++
+		case sweep.Recomputed:
+			stats.Recomputed++
+			stats.Done++
+		default:
+			stats.Done++
+		}
+	}
+	return nil
+}
+
+// sweepConfig runs one configuration's full leave-one-out sweep, fanning
+// folds across a bounded pool (like attack.RunInstances) and serving each
+// fold from the server's checkpoint when it has one — the merge path
+// recombining partials that sharded jobs or CLI shards computed. Results
+// are bit-identical to attack.RunInstances at any pool size and any mix of
+// loaded and computed folds.
+func (s *Server) sweepConfig(ctx context.Context, spec JobSpec, cfg attack.Config,
+	insts []*attack.Instance) (*SweepConfigResult, error) {
+
+	start := time.Now()
+	r := &attack.Result{
+		Config:     cfg,
+		Evals:      make([]*attack.Evaluation, len(insts)),
+		RadiusNorm: make([]float64, len(insts)),
+	}
+	workers := s.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(insts) {
+		workers = len(insts)
+	}
+	errs := make([]error, len(insts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				fold := int(next.Add(1)) - 1
+				if fold >= len(insts) {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[fold] = err
+					return
+				}
+				r.RadiusNorm[fold] = -1
+				var ev *attack.Evaluation
+				var radius float64
+				var err error
+				if u, ok := sweepUnit(spec, cfg, fold, insts); ok && s.ck != nil {
+					ev, radius, _, err = sweep.RunUnit(s.o, s.ck, u, cfg, insts)
+				} else {
+					ev, radius, err = attack.RunFoldInstances(cfg, insts, fold)
+				}
+				if err != nil {
+					errs[fold] = err
+					continue
+				}
+				r.Evals[fold] = ev
+				r.RadiusNorm[fold] = radius
+			}
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	r.TotalDur = time.Since(start)
+	cr := &SweepConfigResult{
+		Config:      cfg.Name,
+		MeanTrainNS: int64(r.MeanTrainDur()),
+		MeanTestNS:  int64(r.MeanTestDur()),
+	}
+	for _, ev := range r.Evals {
+		cr.Designs = append(cr.Designs, DesignSummary{
+			Design:      ev.Design,
+			VPins:       ev.N,
+			MaxAccuracy: ev.MaxAccuracy(),
+			EvalDigest:  ev.Digest(),
+		})
+	}
+	for _, pt := range attack.Curve(r.Evals, attack.CurveFractions()) {
+		cr.Curve = append(cr.Curve, CurvePoint{LoCFrac: pt.LoCFrac, Accuracy: pt.Accuracy})
+	}
+	return cr, nil
 }

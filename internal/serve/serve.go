@@ -39,6 +39,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -47,6 +48,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/split"
+	"repro/internal/sweep"
 )
 
 // Defaults for Options fields left zero.
@@ -76,6 +78,13 @@ type Options struct {
 	// StateDir enables job persistence (see the package doc); empty runs
 	// memory-only.
 	StateDir string
+	// CheckpointDir is the sweep checkpoint directory of per-fold partial
+	// results (see internal/sweep). Sharded sweep jobs require it; full
+	// sweep jobs use it, when present, to load folds already computed —
+	// by earlier jobs, concurrent shards, or `experiments -shard` workers
+	// sharing the directory — which is the merge path. Empty defaults to
+	// StateDir/checkpoints when StateDir is set, else checkpointing is off.
+	CheckpointDir string
 	// DefaultTier, DefaultScale, and DefaultSeed fill job specs that omit
 	// the suite tier, scale, or seed ("" selects layout.TierStandard, 0
 	// selects 1.0 and 1).
@@ -98,6 +107,8 @@ type Server struct {
 	opts  Options
 	o     *obs.Context
 	store *model.Store
+	// ck is the sweep checkpoint (nil without a checkpoint dir).
+	ck *sweep.Checkpoint
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -159,12 +170,22 @@ func New(opts Options) (*Server, error) {
 	if opts.runner == nil {
 		opts.runner = execute
 	}
+	if opts.CheckpointDir == "" && opts.StateDir != "" {
+		opts.CheckpointDir = filepath.Join(opts.StateDir, "checkpoints")
+	}
 	s := &Server{
 		opts:  opts,
 		o:     opts.Obs,
 		store: opts.Store,
 		jobs:  make(map[string]*Job),
 		insts: make(map[instKey]*instEntry),
+	}
+	if opts.CheckpointDir != "" {
+		ck, err := sweep.Open(opts.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		s.ck = ck
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	pending, err := s.loadState()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/layout"
 	"repro/internal/ml"
+	"repro/internal/sweep"
 )
 
 // JobKind selects which pipeline a job runs.
@@ -57,6 +58,15 @@ type JobSpec struct {
 	// Configs are the sweep's configurations; empty selects the paper's
 	// four standard configurations.
 	Configs []ConfigSpec `json:"configs,omitempty"`
+	// Shard and Of partition a sweep job's leave-one-out folds across
+	// cooperating jobs ("shard/of", 1-based): the job computes only the
+	// work units it owns, writes them to the server's checkpoint
+	// directory, and returns unit statistics instead of aggregates. A
+	// later sweep job without shard/of merges every checkpointed fold into
+	// the full result, bit-identical to an unsharded run. Sweep jobs only;
+	// sharding requires the server to have a checkpoint directory.
+	Shard int `json:"shard,omitempty"`
+	Of    int `json:"of,omitempty"`
 }
 
 // ConfigSpec is the model.TrainOptions-shaped wire form of an attack
@@ -199,6 +209,18 @@ func (s *Server) normalize(spec JobSpec) (JobSpec, error) {
 	if spec.Seed == nil {
 		seed := s.opts.DefaultSeed
 		spec.Seed = &seed
+	}
+	if spec.Shard != 0 || spec.Of != 0 {
+		if spec.Kind != KindSweep {
+			return spec, fmt.Errorf("%s jobs cannot shard (shard/of applies to sweep jobs only)", spec.Kind)
+		}
+		sh := sweep.Shard{Index: spec.Shard, Count: spec.Of}
+		if err := sh.Validate(); err != nil {
+			return spec, err
+		}
+		if s.ck == nil {
+			return spec, errors.New("sharded sweep jobs need a server checkpoint directory (start splitserved with -checkpoint or -state)")
+		}
 	}
 	if spec.Kind == KindSweep {
 		spec.Design = ""

@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/attack"
+	"repro/internal/obs"
+)
+
+// Outcome says how RunUnit produced a unit's result.
+type Outcome int
+
+const (
+	// Computed: the unit was run fresh (and checkpointed, when a checkpoint
+	// is configured).
+	Computed Outcome = iota
+	// Loaded: a valid checkpoint file served the unit without any engine
+	// work.
+	Loaded
+	// Recomputed: a checkpoint file existed but failed validation, was
+	// discarded, and the unit was run fresh.
+	Recomputed
+)
+
+// String names the outcome for logs and stats.
+func (o Outcome) String() string {
+	switch o {
+	case Loaded:
+		return "loaded"
+	case Recomputed:
+		return "recomputed"
+	default:
+		return "computed"
+	}
+}
+
+// RunUnit is the single chokepoint every sharded, checkpointed, or merged
+// fold goes through: load the unit from the checkpoint if a valid partial
+// exists, otherwise compute it with attack.RunFoldInstances and persist it.
+// The result is bit-identical either way — the checkpoint codec round-trips
+// every evaluation bit — so callers can mix loaded and computed units
+// freely. A nil checkpoint always computes.
+//
+// Outcomes land on the obs counters sweep.units.done (computed),
+// sweep.units.skipped (served from checkpoint), and sweep.units.recomputed
+// (corrupt partial discarded and re-run, also counted under done).
+func RunUnit(o *obs.Context, ck *Checkpoint, u Unit, cfg attack.Config,
+	insts []*attack.Instance) (*attack.Evaluation, float64, Outcome, error) {
+
+	if u.Fold < 0 || u.Fold >= len(insts) {
+		return nil, 0, Computed, fmt.Errorf("sweep: unit %s: fold out of range 0..%d", u, len(insts)-1)
+	}
+	if name := insts[u.Fold].Ch.Design.Name; name != u.Design {
+		return nil, 0, Computed, fmt.Errorf("sweep: unit %s: fold %d is design %s in the prepared suite",
+			u, u.Fold, name)
+	}
+	if layer := insts[u.Fold].Ch.SplitLayer; layer != u.Layer {
+		return nil, 0, Computed, fmt.Errorf("sweep: unit %s: prepared instances are cut at layer %d",
+			u, layer)
+	}
+
+	discarded := false
+	if ck != nil {
+		res, disc, err := ck.Load(u)
+		if err != nil {
+			return nil, 0, Computed, err
+		}
+		if res != nil {
+			o.Metrics().Counter("sweep.units.skipped").Inc()
+			return res.Eval, res.RadiusNorm, Loaded, nil
+		}
+		discarded = disc
+	}
+
+	ev, radius, err := attack.RunFoldInstances(cfg, insts, u.Fold)
+	if err != nil {
+		return nil, 0, Computed, err
+	}
+	outcome := Computed
+	if discarded {
+		outcome = Recomputed
+		o.Metrics().Counter("sweep.units.recomputed").Inc()
+		o.Log().Warn("discarded corrupt checkpoint unit and recomputed", "unit", u.String())
+	}
+	if ck != nil {
+		if err := ck.Save(&UnitResult{Unit: u, RadiusNorm: radius, Eval: ev}); err != nil {
+			return nil, 0, outcome, err
+		}
+	}
+	o.Metrics().Counter("sweep.units.done").Inc()
+	return ev, radius, outcome, nil
+}

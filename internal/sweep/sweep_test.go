@@ -1,0 +1,282 @@
+package sweep
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/attack"
+)
+
+func testUnit() Unit {
+	return Unit{
+		Prov:   Provenance{Tier: "standard", Scale: 0.12, Seed: 3},
+		Config: "Imp-11",
+		Spec:   "abc123",
+		Layer:  6,
+		Noise:  0.01,
+		Fold:   2,
+		Design: "sb10",
+	}
+}
+
+// syntheticEval builds an evaluation exercising every digest-relevant field,
+// including float values (0.1, NaN-free but non-representable in decimal
+// shorthand) that would expose a lossy codec.
+func syntheticEval() *attack.Evaluation {
+	return &attack.Evaluation{
+		ConfigName: "Imp-11",
+		Design:     "sb10",
+		SplitLayer: 6,
+		N:          3,
+		Cands: [][]attack.Candidate{
+			{{Other: 1, P: 0.875, D: 12.5}, {Other: 2, P: float32(0.1), D: float32(math.Pi)}},
+			{{Other: 0, P: 0.875, D: 12.5}},
+			{},
+		},
+		TruthP:      []float32{0.875, 0.875, -1},
+		Truth:       []int32{1, 0, 2},
+		Subset:      []int{0, 1, 2},
+		TrainDur:    123 * time.Millisecond,
+		TestDur:     45 * time.Millisecond,
+		PairsScored: 99,
+		Retained:    3,
+	}
+}
+
+func TestUnitKeyDeterministicAndDistinct(t *testing.T) {
+	u := testUnit()
+	k1, k2 := u.Key(), u.Key()
+	if k1 != k2 {
+		t.Fatalf("Key not deterministic: %s vs %s", k1, k2)
+	}
+	if len(k1) != 32 {
+		t.Fatalf("Key length = %d, want 32 hex chars", len(k1))
+	}
+	// Every coordinate must change the key.
+	variants := []Unit{u, u, u, u, u, u, u, u}
+	variants[1].Prov.Tier = "industrial"
+	variants[2].Prov.Scale = 0.13
+	variants[3].Prov.Seed = 4
+	variants[4].Config = "Imp-9"
+	variants[5].Spec = "def456"
+	variants[6].Layer = 8
+	variants[7].Noise = 0.02
+	more := []Unit{u, u}
+	more[0].Fold = 3
+	more[1].Design = "sb12"
+	variants = append(variants, more...)
+	seen := map[string]int{}
+	for i, v := range variants {
+		k := v.Key()
+		if j, dup := seen[k]; dup {
+			t.Errorf("variants %d and %d share key %s", j, i, k)
+		}
+		seen[k] = i
+	}
+	if len(seen) != len(variants) {
+		t.Errorf("expected %d distinct keys, got %d", len(variants), len(seen))
+	}
+}
+
+func TestShardPartitionCoversExactlyOnce(t *testing.T) {
+	shards := []Shard{{1, 3}, {2, 3}, {3, 3}}
+	u := testUnit()
+	for fold := 0; fold < 20; fold++ {
+		u.Fold = fold
+		key := u.Key()
+		owners := 0
+		for _, sh := range shards {
+			if sh.Owns(key) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			t.Errorf("fold %d key %s owned by %d shards, want exactly 1", fold, key, owners)
+		}
+		if !(Shard{}).Owns(key) {
+			t.Errorf("zero shard must own every key")
+		}
+		if !(Shard{1, 1}).Owns(key) {
+			t.Errorf("1/1 shard must own every key")
+		}
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	good := map[string]Shard{
+		"":    {},
+		"1/3": {1, 3},
+		"3/3": {3, 3},
+		"1/1": {1, 1},
+	}
+	for in, want := range good {
+		got, err := ParseShard(in)
+		if err != nil || got != want {
+			t.Errorf("ParseShard(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"0/3", "4/3", "1/0", "-1/3", "x/3", "1/x", "13", "1/3/5"} {
+		if _, err := ParseShard(in); err == nil {
+			t.Errorf("ParseShard(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestCheckpointRoundTripPreservesDigest(t *testing.T) {
+	ck, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := testUnit()
+	ev := syntheticEval()
+	want := ev.Digest()
+	if err := ck.Save(&UnitResult{Unit: u, RadiusNorm: 0.0625, Eval: ev}); err != nil {
+		t.Fatal(err)
+	}
+	res, discarded, err := ck.Load(u)
+	if err != nil || discarded {
+		t.Fatalf("Load = %v, discarded=%t", err, discarded)
+	}
+	if res == nil {
+		t.Fatal("Load returned nil for a saved unit")
+	}
+	if res.RadiusNorm != 0.0625 {
+		t.Errorf("RadiusNorm = %v, want 0.0625", res.RadiusNorm)
+	}
+	if got := res.Eval.Digest(); got != want {
+		t.Errorf("digest changed across the checkpoint round trip:\n  saved  %s\n  loaded %s", want, got)
+	}
+	if res.Unit != u {
+		t.Errorf("embedded unit = %+v, want %+v", res.Unit, u)
+	}
+}
+
+func TestCheckpointLoadMissing(t *testing.T) {
+	ck, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, discarded, err := ck.Load(testUnit())
+	if res != nil || discarded || err != nil {
+		t.Fatalf("Load of missing unit = %v, %t, %v; want nil, false, nil", res, discarded, err)
+	}
+}
+
+// corrupt writes a saved unit file back with the given mutation applied.
+func corrupt(t *testing.T, ck *Checkpoint, u Unit, mutate func([]byte) []byte) string {
+	t.Helper()
+	path := filepath.Join(ck.Dir(), u.Key()+".unit")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckpointCorruptionDiscarded(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"nearly-empty", func(b []byte) []byte { return b[:3] }},
+		{"bit-flip", func(b []byte) []byte {
+			b[len(b)/2] ^= 0x40
+			return b
+		}},
+		{"bad-magic", func(b []byte) []byte {
+			b[0] = 'X'
+			return b
+		}},
+		{"bad-version", func(b []byte) []byte {
+			b[len(unitMagic)] = 0xFF
+			return b
+		}},
+		{"garbage", func([]byte) []byte { return []byte("not a unit file at all") }},
+		{"partial-write", func(b []byte) []byte { return b[:len(b)-2] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ck, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			u := testUnit()
+			if err := ck.Save(&UnitResult{Unit: u, Eval: syntheticEval()}); err != nil {
+				t.Fatal(err)
+			}
+			path := corrupt(t, ck, u, tc.mutate)
+			res, discarded, err := ck.Load(u)
+			if err != nil {
+				t.Fatalf("Load of corrupt unit errored (%v); want discard", err)
+			}
+			if res != nil {
+				t.Fatal("corrupt unit was served")
+			}
+			if !discarded {
+				t.Fatal("corrupt unit not reported as discarded")
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt unit file not removed: %v", err)
+			}
+			// The next load sees a clean miss, so the unit is recomputed.
+			res, discarded, err = ck.Load(u)
+			if res != nil || discarded || err != nil {
+				t.Fatalf("Load after discard = %v, %t, %v; want clean miss", res, discarded, err)
+			}
+		})
+	}
+}
+
+func TestCheckpointProvenanceMismatch(t *testing.T) {
+	ck, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := testUnit()
+	if err := ck.Save(&UnitResult{Unit: u, Eval: syntheticEval()}); err != nil {
+		t.Fatal(err)
+	}
+	// Rename the valid file onto a different unit's key: the contents decode
+	// fine but describe the wrong unit — a provenance error, not a discard.
+	other := u
+	other.Prov.Seed = 99
+	if err := os.Rename(
+		filepath.Join(ck.Dir(), u.Key()+".unit"),
+		filepath.Join(ck.Dir(), other.Key()+".unit")); err != nil {
+		t.Fatal(err)
+	}
+	res, discarded, err := ck.Load(other)
+	if err == nil {
+		t.Fatal("Load of a foreign unit succeeded; want provenance error")
+	}
+	if res != nil || discarded {
+		t.Fatalf("foreign unit: res=%v discarded=%t; want nil, false", res, discarded)
+	}
+	if !strings.Contains(err.Error(), "refusing to merge") {
+		t.Errorf("provenance error %q should explain the refusal", err)
+	}
+}
+
+func TestSaveRefusesNilEval(t *testing.T) {
+	ck, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Save(&UnitResult{Unit: testUnit()}); err == nil {
+		t.Fatal("Save without an evaluation succeeded")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}
