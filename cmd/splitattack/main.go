@@ -75,8 +75,14 @@ func prepare(fsName string, args []string, addFlags func(*flag.FlagSet)) *sessio
 	app := cli.New("splitattack", fs)
 	layer := fs.Int("layer", 8, "split (via) layer: 1..8; the paper studies 4, 6, 8")
 	design := fs.String("design", "sb1", "target design: sb1 sb5 sb10 sb12 sb18 (industrial tier: sbx1 sbx10 sbx12)")
-	config := fs.String("config", "Imp-11", "attack configuration: ML-9 Imp-9 Imp-7 Imp-11 (+Y suffix at layer 8)")
+	config := fs.String("config", "Imp-11", "attack configuration: ML-9 Imp-9 Imp-7 Imp-11 (+Y suffix at layer 8), DL-MLP, DL-MLP-rank")
 	base := fs.String("base", "reptree", "bagging base classifier: reptree or randomtree")
+	learner := fs.String("learner", "",
+		"learner family override: bagging, mlp, or logistic (default: the config's own family)")
+	mlpHidden := fs.Int("mlp-hidden", 0, "mlp hidden width (0 = default 16; mlp family only)")
+	mlpEpochs := fs.Int("mlp-epochs", 0, "mlp training epochs (0 = default 30; mlp family only)")
+	mlpRate := fs.Float64("mlp-rate", 0, "mlp learning rate (0 = default 0.05; mlp family only)")
+	ranking := fs.Bool("ranking", false, "softmax-normalise each v-pin's candidate scores (list-wise ranking head)")
 	maxLoC := fs.Int("max-loc", 0,
 		"absolute cap on retained per-v-pin candidate lists (0 = fraction-only); bounds memory on industrial designs")
 	shard := fs.Int("shard-vpins", 0, "spatial-region size of the streamed scoring stage (0 = automatic)")
@@ -91,6 +97,24 @@ func prepare(fsName string, args []string, addFlags func(*flag.FlagSet)) *sessio
 	}
 	if *base == "randomtree" {
 		cfg = attack.WithBase(cfg, ml.RandomTree, 0)
+	}
+	if *learner != "" {
+		cfg = attack.WithFamily(cfg, *learner)
+	}
+	if *mlpHidden != 0 {
+		cfg.MLPHidden = *mlpHidden
+	}
+	if *mlpEpochs != 0 {
+		cfg.MLPEpochs = *mlpEpochs
+	}
+	if *mlpRate != 0 {
+		cfg.MLPRate = *mlpRate
+	}
+	if *ranking {
+		cfg = attack.WithRanking(cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		cli.Usage("%v", err)
 	}
 	cfg.Seed = app.Seed
 	cfg.Workers = app.Workers()
@@ -156,7 +180,11 @@ func runTrain(args []string) {
 	fmt.Printf("trained %s for held-out %s at split layer %d in %v\n",
 		s.cfg.Name, s.design, s.layer, dur.Round(time.Millisecond))
 	fmt.Printf("  spec     %s\n", art.Meta.SpecHash)
-	fmt.Printf("  level-1  %d trees on %d samples\n", art.Meta.Trees, art.Meta.Samples)
+	if art.Meta.Family != "" {
+		fmt.Printf("  level-1  %s model on %d samples\n", art.Meta.Family, art.Meta.Samples)
+	} else {
+		fmt.Printf("  level-1  %d trees on %d samples\n", art.Meta.Trees, art.Meta.Samples)
+	}
 	if art.Meta.Level == 2 {
 		fmt.Printf("  level-2  %d trees on %d samples\n", art.Meta.Level2Trees, art.Meta.Level2Samples)
 	}
@@ -206,7 +234,7 @@ func runAttack(args []string) {
 			fmt.Printf("scoring with artifact %s (spec %.12s, trained by %s)\n",
 				*modelPath, art.Meta.SpecHash, art.Meta.Version)
 		}
-	} else if ck := s.app.Checkpoint(); ck != nil && cfg.OptionsHash() != "" {
+	} else if ck := s.app.Checkpoint(); ck != nil {
 		// Checkpointed single-target run: the fold is saved as (or served
 		// from) the same work unit an `experiments -shard` worker or a sweep
 		// job would produce at these coordinates, so the commands compose.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/layout"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/split"
 )
 
@@ -411,13 +412,10 @@ func TestNeighborRadiusNorm(t *testing.T) {
 	}
 }
 
-func TestCustomLearnerLogistic(t *testing.T) {
-	// The Learner hook must let a non-tree classifier drive the attack.
-	cfg := Imp11()
+func TestLogisticFamilyDrivesAttack(t *testing.T) {
+	// A non-tree learner family must drive the attack end to end.
+	cfg := WithFamily(Imp11(), model.FamilyLogistic)
 	cfg.Name = "Imp-11-logistic"
-	cfg.Learner = func(ds *ml.Dataset, c Config, rng *rand.Rand) (Scorer, error) {
-		return ml.TrainLogistic(ds, ml.LogisticOptions{Features: c.Features, Epochs: 30}, rng)
-	}
 	res := run(t, cfg, 8)
 	var acc float64
 	for _, ev := range res.Evals {

@@ -7,10 +7,8 @@ package attack
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
-	"repro/internal/ml"
 	"repro/internal/model"
 	"repro/internal/pairs"
 )
@@ -109,26 +107,42 @@ func TestBatchProximityMatchesScalar(t *testing.T) {
 	}
 }
 
-// TestCustomLearnerFallsBackToScalar: a Learner that returns a plain Scorer
-// has no ProbBatch; the engine must quietly fall back to per-pair Prob.
-func TestCustomLearnerFallsBackToScalar(t *testing.T) {
+// TestScalarFamilyFallsBackToScalar: the logistic family trains a plain
+// Scorer with no ProbBatch; the engine must quietly fall back to per-pair
+// Prob.
+func TestScalarFamilyFallsBackToScalar(t *testing.T) {
 	chs := challenges(t, 8)
-	cfg := Imp9()
+	cfg := WithFamily(Imp9(), model.FamilyLogistic)
 	cfg.Name = "Imp-9-logistic-fallback"
 	cfg.Seed = 8
-	cfg.Learner = func(ds *ml.Dataset, c Config, rng *rand.Rand) (Scorer, error) {
-		return ml.TrainLogistic(ds, ml.LogisticOptions{Features: c.Features, Epochs: 5}, rng)
-	}
 	ev, _, err := RunTarget(cfg, chs, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ev.Batches != 0 || ev.BatchRows != 0 {
-		t.Fatalf("custom-learner run reported %d batches / %d rows; expected the scalar fallback",
+		t.Fatalf("scalar-family run reported %d batches / %d rows; expected the scalar fallback",
 			ev.Batches, ev.BatchRows)
 	}
 	if ev.PairsScored == 0 {
 		t.Fatal("fallback path scored nothing")
+	}
+}
+
+// TestMLPFamilyUsesBatchPath pins that the MLP family rides the batched
+// flat-arena engine exactly like the tree ensemble — a regression here
+// silently reverts every DL-perspective run to scalar speed.
+func TestMLPFamilyUsesBatchPath(t *testing.T) {
+	chs := challenges(t, 8)
+	cfg := DLMLP()
+	cfg.Seed = 8
+	cfg.MLPEpochs = 3
+	ev, _, err := RunTarget(cfg, chs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Batches == 0 || ev.BatchRows != ev.PairsScored {
+		t.Fatalf("batch counters %d/%d for %d pairs; MLP batch path not engaged",
+			ev.Batches, ev.BatchRows, ev.PairsScored)
 	}
 }
 

@@ -10,7 +10,6 @@ package attack
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 
 	"repro/internal/features"
@@ -72,14 +71,26 @@ type Config struct {
 	// TrainCap bounds the number of training samples (0 = unlimited);
 	// when exceeded, a balanced random subsample is used.
 	TrainCap int
-	// Learner, when non-nil, replaces the Bagging ensemble with a custom
-	// classifier (e.g. logistic regression for the classifier-choice
-	// ablation). It must return a model whose Prob is in [0, 1]. The
-	// returned Scorer must be safe for concurrent Prob calls: candidate
-	// scoring fans out across workers. The rng handed to the Learner is a
-	// stream derived from Seed and the unit being trained (see
-	// internal/rng); the Learner owns it exclusively.
-	Learner Learner
+	// Family selects the learner family by registry name ("" or
+	// model.FamilyBagging for the paper's Bagging ensemble,
+	// model.FamilyMLP for the DL-perspective multi-layer perceptron,
+	// model.FamilyLogistic for the linear ablation baseline). Every family
+	// is hashable and serializable, so all of them checkpoint, cache, and
+	// sweep identically; Validate rejects unregistered names.
+	Family string
+	// MLPHidden, MLPEpochs, and MLPRate tune the MLP family (hidden layer
+	// width, SGD epochs, learning rate); zero selects the defaults
+	// (16/30/0.05). Other families ignore them and never hash them.
+	MLPHidden int
+	MLPEpochs int
+	MLPRate   float64
+	// Ranking enables the list-wise ranking head of the DL-perspective
+	// attack: each scored v-pin's candidate list is softmax-normalised in
+	// place (see pairs.Ranked). The softmax is monotone within a list, so
+	// candidate rankings, CCR, and accuracy-at-K are unchanged; score-scale
+	// consumers (figure-of-merit, threshold sweeps) see a per-list
+	// probability distribution instead of raw classifier outputs.
+	Ranking bool
 	// ScalarScoring disables the batched scoring fast path: the trained
 	// Bagging is used directly through per-pair Scorer.Prob calls instead
 	// of being compiled into an ml.Ensemble arena. Results are bit-identical
@@ -116,25 +127,22 @@ type Scorer = pairs.Scorer
 
 // BatchScorer is a Scorer that can score a whole row-major feature matrix
 // in one call; see pairs.BatchScorer for the contract. The engine scores
-// each v-pin's gathered candidates through this fast path; models that
-// only implement Scorer (custom Learners) fall back to per-pair Prob calls
-// over the same gathered arena.
+// each v-pin's gathered candidates through this fast path; scalar-only
+// families fall back to per-pair Prob calls over the same gathered arena.
 type BatchScorer = pairs.BatchScorer
 
-var _ BatchScorer = (*ml.Ensemble)(nil)
-
-// Learner trains a Scorer on a pair-sample dataset. The rng is an
-// independent per-unit stream owned by this call alone; implementations
-// may consume it freely but must not retain it past training. Learners may
-// be invoked concurrently for different targets, each with its own rng.
-type Learner func(ds *ml.Dataset, cfg Config, rng *rand.Rand) (Scorer, error)
+var (
+	_ BatchScorer = (*ml.Ensemble)(nil)
+	_ BatchScorer = (*ml.MLP)(nil)
+)
 
 // TrainOptions projects the configuration's training-relevant fields into
 // the model package's option struct — the one place training options live.
-// A custom Learner is adapted to the model package's signature with the
-// configuration captured in the closure.
+// The learner family travels by name; the model package resolves it through
+// its registry, so every family the attack engine can name is hashable,
+// serializable, and cacheable.
 func (c Config) TrainOptions() model.TrainOptions {
-	to := model.TrainOptions{
+	return model.TrainOptions{
 		Name:             c.Name,
 		Features:         c.Features,
 		Neighborhood:     c.Neighborhood,
@@ -146,16 +154,13 @@ func (c Config) TrainOptions() model.TrainOptions {
 		MaxLoCFrac:       c.MaxLoCFrac,
 		MaxLoCCount:      c.MaxLoCCount,
 		TrainCap:         c.TrainCap,
+		Family:           c.Family,
+		MLPHidden:        c.MLPHidden,
+		MLPEpochs:        c.MLPEpochs,
+		MLPRate:          c.MLPRate,
 		ScalarScoring:    c.ScalarScoring,
 		ShardVpins:       c.ShardVpins,
 	}
-	if c.Learner != nil {
-		cc := c
-		to.Learner = func(ds *ml.Dataset, rng *rand.Rand) (pairs.Scorer, error) {
-			return cc.Learner(ds, cc, rng)
-		}
-	}
-	return to
 }
 
 // trainSpec builds the model spec for training on trainInsts with this
@@ -175,6 +180,10 @@ func (c Config) withDefaults() Config {
 	c.NumTrees = to.NumTrees
 	c.MaxLoCFrac = to.MaxLoCFrac
 	c.Features = to.Features
+	c.Family = to.Family
+	c.MLPHidden = to.MLPHidden
+	c.MLPEpochs = to.MLPEpochs
+	c.MLPRate = to.MLPRate
 	return c
 }
 
@@ -201,9 +210,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("attack: config without name")
 	}
 	for _, f := range c.Features {
-		if f < 0 || f >= features.NumFeatures {
+		if f < 0 || f >= features.NumAll {
 			return fmt.Errorf("attack: config %s: feature index %d out of range", c.Name, f)
 		}
+	}
+	if _, err := model.FamilyByName(c.Family); err != nil {
+		return fmt.Errorf("attack: config %s: %w", c.Name, err)
 	}
 	if c.MaxLoCCount < 0 {
 		return fmt.Errorf("attack: config %s: MaxLoCCount %d must not be negative", c.Name, c.MaxLoCCount)
@@ -269,23 +281,63 @@ func WithBase(c Config, kind ml.TreeKind, trees int) Config {
 	return c
 }
 
+// WithFamily returns c trained with the named learner family (see
+// model.Families for the registered names).
+func WithFamily(c Config, family string) Config {
+	c.Family = family
+	return c
+}
+
+// WithRanking returns c with the list-wise ranking head enabled.
+func WithRanking(c Config) Config {
+	c.Ranking = true
+	return c
+}
+
+// DLMLP is the DL-perspective configuration (Li et al., DAC'19/TCAD'20
+// recast onto this engine): the full feature set including the
+// routing-hint block, neighborhood sampling, and the MLP learner family.
+func DLMLP() Config {
+	return Config{
+		Name:         "DL-MLP",
+		Features:     features.Set15(),
+		Neighborhood: true,
+		Family:       model.FamilyMLP,
+	}
+}
+
+// DLMLPRank is DLMLP with the list-wise ranking head.
+func DLMLPRank() Config {
+	c := WithRanking(DLMLP())
+	c.Name = "DL-MLP-rank"
+	return c
+}
+
 // StandardConfigs returns the four headline configurations of the paper's
 // experiments in presentation order.
 func StandardConfigs() []Config {
 	return []Config{ML9(), Imp9(), Imp7(), Imp11()}
 }
 
-// ConfigByName resolves a standard configuration by its report name
-// ("ML-9", "Imp-11", "Imp-7Y", ...), covering StandardConfigs and their
-// "Y" variants. Commands and the job server accept these names as config
-// presets.
+// ConfigByName resolves a named configuration preset by its report name
+// ("ML-9", "Imp-11", "Imp-7Y", "DL-MLP", ...), covering StandardConfigs,
+// their "Y" variants, and the DL-perspective configurations. Commands and
+// the job server accept these names as config presets.
 func ConfigByName(name string) (Config, bool) {
-	for _, c := range append(StandardConfigs(), StandardConfigsY()...) {
+	for _, c := range ConfigPresets() {
 		if c.Name == name {
 			return c, true
 		}
 	}
 	return Config{}, false
+}
+
+// ConfigPresets lists every named configuration preset ConfigByName
+// resolves, in presentation order. The serve layer's GET /configs endpoint
+// reports these names.
+func ConfigPresets() []Config {
+	presets := append(StandardConfigs(), StandardConfigsY()...)
+	return append(presets, DLMLP(), DLMLPRank())
 }
 
 // StandardConfigsY returns the four "Y" variants evaluated at split layer 8.

@@ -2,13 +2,17 @@ package attack
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/ml"
 	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/pairs"
 	"repro/internal/rng"
 )
 
@@ -164,25 +168,19 @@ func TestProximityDeterministicAcrossWorkers(t *testing.T) {
 }
 
 // TestRunCollectsPartialErrors pins the bugfix: one failing target must not
-// discard its siblings' evaluations. The Learner identifies which target it
-// is training for by the first draw of its derived stream — the stream is a
-// pure function of (seed, unit, target), which is itself the property under
-// test.
+// discard its siblings' evaluations. The test-only failing family identifies
+// which target it is training for by the first draw of its derived stream —
+// the stream is a pure function of (seed, unit, target), which is itself the
+// property under test.
 func TestRunCollectsPartialErrors(t *testing.T) {
 	chs := challenges(t, 8)
-	cfg := ML9()
+	cfg := WithFamily(ML9(), "test-fail")
 	cfg.Name = "ML-9-partial"
 	cfg.Seed = 13
 	cfg.Workers = 2
 
 	const failTarget = 1
-	failDraw := rng.Derive(cfg.Seed, model.UnitLevel1, failTarget).Int63()
-	cfg.Learner = func(ds *ml.Dataset, c Config, r *rand.Rand) (Scorer, error) {
-		if r.Int63() == failDraw {
-			return nil, fmt.Errorf("injected failure")
-		}
-		return constScorer{}, nil
-	}
+	failFamilyDraw.Store(rng.Derive(cfg.Seed, model.UnitLevel1, failTarget).Int63())
 
 	res, err := Run(cfg, chs)
 	if err == nil {
@@ -223,3 +221,37 @@ func TestRunCollectsPartialErrors(t *testing.T) {
 type constScorer struct{}
 
 func (constScorer) Prob(x []float64) float64 { return 0.5 }
+
+// failFamily is a test-only learner family whose Train fails exactly when
+// its derived stream's first draw matches failFamilyDraw — proving the
+// stream is a pure function of (seed, unit, target).
+type failFamily struct{}
+
+var failFamilyDraw atomic.Int64
+
+func (failFamily) Name() string { return "test-fail" }
+
+func (failFamily) HashOptions(w io.Writer, o model.TrainOptions) {
+	fmt.Fprintf(w, "family=test-fail\n")
+}
+
+func (failFamily) Train(ctx model.TrainContext, ds *ml.Dataset) (pairs.Scorer, error) {
+	if ctx.Rng().Int63() == failFamilyDraw.Load() {
+		return nil, fmt.Errorf("injected failure")
+	}
+	return constScorer{}, nil
+}
+
+func (f failFamily) TrainSeq(o *obs.Context, opts model.TrainOptions, ds *ml.Dataset, r *rand.Rand) (pairs.Scorer, error) {
+	return constScorer{}, nil
+}
+
+func (failFamily) Encode(sc pairs.Scorer) ([]byte, error) {
+	return nil, fmt.Errorf("test-fail family is not serializable")
+}
+
+func (failFamily) Decode(data []byte) (pairs.Scorer, error) {
+	return nil, fmt.Errorf("test-fail family is not serializable")
+}
+
+func init() { model.Register(failFamily{}) }

@@ -3,6 +3,7 @@ package attack
 import (
 	"time"
 
+	"repro/internal/features"
 	"repro/internal/pairs"
 )
 
@@ -94,9 +95,10 @@ func scoreTarget(model Scorer, inst *Instance, cfg Config, radiusNorm float64) *
 // Scoring rides pairs.ScoreLists, the shared region-streamed engine: the
 // targets are sharded by spatial region of the v-pin index, each worker
 // streams one region at a time through its reusable Gatherer arena and
-// TopK heap, and the backend pairs.ResolveBackend picked — the batched
+// TopK heap, and the backend pairs.ResolveBackendObs picked — the batched
 // flat-arena engine when the model supports it, the per-row scalar oracle
-// otherwise (or under cfg.ScalarScoring) — scores each arena. Retention is
+// otherwise (or under cfg.ScalarScoring), wrapped in the list-wise ranking
+// head when cfg.Ranking — scores each arena. Retention is
 // order-free, so the Evaluation is bit-identical at any worker count and
 // any shard size; TruthP is filled from the Visit hook before retention,
 // so the true pair's probability survives even when the truth falls
@@ -124,11 +126,16 @@ func scoreSubset(model Scorer, inst *Instance, cfg Config, radiusNorm float64, s
 	if subset != nil {
 		total = len(subset)
 	}
-	lists, stats := pairs.ScoreLists(filter, pairs.ResolveBackend(model, cfg.ScalarScoring), pairs.StreamOptions{
+	backend := pairs.ResolveBackendObs(cfg.Obs, model, cfg.ScalarScoring)
+	if cfg.Ranking {
+		backend = pairs.Ranked(backend)
+	}
+	lists, stats := pairs.ScoreLists(filter, backend, pairs.StreamOptions{
 		Targets:    subset,
 		Cap:        cfg.retainCap(n),
 		ShardVpins: cfg.ShardVpins,
 		Workers:    cfg.workerCount(total),
+		Stride:     features.Width(cfg.Features),
 		Visit: func(a int, g *pairs.Gatherer) {
 			m := inst.Match(a)
 			for k, b32 := range g.Ids {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/model"
 )
 
 // OptionsHash is a canonical content address over every configuration field
@@ -18,12 +20,14 @@ import (
 // bit-identical evaluations given the same instances, seed, and fold.
 //
 // The sweep layer uses this hash as the config coordinate of its
-// content-addressed work units; a custom Learner has no canonical serialized
-// form, so such configurations hash to "" and are never checkpointed.
+// content-addressed work units. Every learner family serializes its
+// identity here — there is no unhashable configuration, so every
+// configuration checkpoints.
+//
+// The non-default family and ranking lines append after the historical
+// fields, so every pre-family configuration (Bagging, no ranking head)
+// keeps its exact historical hash; see TestOptionsHashPresetStability.
 func (c Config) OptionsHash() string {
-	if c.Learner != nil {
-		return ""
-	}
 	c = c.withDefaults()
 	var b strings.Builder
 	fmt.Fprintf(&b, "attack-config/v1\n")
@@ -34,6 +38,16 @@ func (c Config) OptionsHash() string {
 	fmt.Fprintf(&b, "base=%d trees=%d traincap=%d\n", c.BaseKind, c.NumTrees, c.TrainCap)
 	fmt.Fprintf(&b, "maxlocfrac=%016x maxloccount=%d\n",
 		math.Float64bits(c.MaxLoCFrac), c.MaxLoCCount)
+	if c.Family != "" {
+		fmt.Fprintf(&b, "family=%s\n", c.Family)
+		if c.Family == model.FamilyMLP {
+			fmt.Fprintf(&b, "mlp hidden=%d epochs=%d rate=%016x\n",
+				c.MLPHidden, c.MLPEpochs, math.Float64bits(c.MLPRate))
+		}
+	}
+	if c.Ranking {
+		fmt.Fprintf(&b, "ranking=true\n")
+	}
 	sum := sha256.Sum256([]byte(b.String()))
 	return hex.EncodeToString(sum[:])
 }

@@ -9,9 +9,9 @@ import (
 	"time"
 
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/pairs"
-	"repro/internal/rng"
 	"repro/internal/split"
 )
 
@@ -236,43 +236,40 @@ func others(insts []*Instance, target int) []*Instance {
 	return out
 }
 
-// trainModel trains the configuration's classifier — the Bagging ensemble
-// by default, or a custom Learner when one is set — consuming the single
-// shared rng sequentially. It is the legacy sequential path kept for
-// ScoreWithTrainingSet, whose callers own their rng; the engine itself
-// trains through the model package (see model.Train).
+// trainModel trains the configuration's classifier through its learner
+// family, consuming the single shared rng sequentially. It is the legacy
+// sequential path kept for ScoreWithTrainingSet, whose callers own their
+// rng; the engine itself trains through the model package (see model.Train).
 func trainModel(cfg Config, ds *ml.Dataset, r *rand.Rand) (Scorer, error) {
-	if cfg.Learner != nil {
-		return cfg.Learner(ds, cfg, r)
-	}
-	b, err := ml.TrainBaggingObs(cfg.Obs, ds, cfg.NumTrees, cfg.TrainOptions().TreeOptions(), r)
+	fam, err := model.FamilyByName(cfg.Family)
 	if err != nil {
 		return nil, err
 	}
-	return b.Compile(), nil
+	return fam.TrainSeq(cfg.Obs, cfg.TrainOptions().WithDefaults(), ds, r)
 }
 
 // trainModelUnit trains the configuration's classifier from streams derived
-// from (cfg.Seed, unit, target): a custom Learner receives the stream
-// (cfg.Seed, unit, target) whole, while the default Bagging ensemble trains
-// in parallel with tree t on stream (cfg.Seed, unit, target, t) and is
-// compiled into its flat-arena form (bit-identical Prob — the documented
-// Ensemble contract). The leave-one-out train stage lives in the model
-// package; this helper remains for the proximity attack's validation-split
-// models, which are trained on PA stream units.
+// from (cfg.Seed, unit, target): the family draws every random decision
+// through TrainContext.Rng — the Bagging ensemble trains tree t in parallel
+// on stream (cfg.Seed, unit, target, t) and compiles into its flat-arena
+// form (bit-identical Prob — the documented Ensemble contract), single-model
+// families consume the stream (cfg.Seed, unit, target) whole. The
+// leave-one-out train stage lives in the model package; this helper remains
+// for the proximity attack's validation-split models, which are trained on
+// PA stream units.
 func trainModelUnit(cfg Config, ds *ml.Dataset, unit int64, target int) (Scorer, error) {
-	if cfg.Learner != nil {
-		return cfg.Learner(ds, cfg, rng.Derive(cfg.Seed, unit, int64(target)))
-	}
-	streams := func(tree int) *rand.Rand {
-		return rng.Derive(cfg.Seed, unit, int64(target), int64(tree))
-	}
-	b, err := ml.TrainBaggingStreams(cfg.Obs, ds, cfg.NumTrees, cfg.TrainOptions().TreeOptions(),
-		streams, cfg.workerCount(cfg.NumTrees))
+	fam, err := model.FamilyByName(cfg.Family)
 	if err != nil {
 		return nil, err
 	}
-	return b.Compile(), nil
+	return fam.Train(model.TrainContext{
+		Obs:     cfg.Obs,
+		Opts:    cfg.TrainOptions().WithDefaults(),
+		Seed:    cfg.Seed,
+		Unit:    unit,
+		Fold:    target,
+		Workers: cfg.Workers,
+	}, ds)
 }
 
 // runTarget trains on all instances except target and scores target. All

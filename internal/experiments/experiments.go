@@ -52,8 +52,8 @@ type Suite struct {
 	// content-addressed unit file (see internal/sweep): folds already in the
 	// checkpoint are loaded instead of recomputed — bit-identically — which
 	// is both the resume path for killed runs and the merge path combining
-	// partials that other shards (or machines) computed. Configurations
-	// with custom Learners are never checkpointed.
+	// partials that other shards (or machines) computed. Every learner
+	// family checkpoints — MLP folds resume exactly like Bagging folds.
 	Checkpoint *sweep.Checkpoint
 	// Shard restricts RunPlan to the units this shard owns (the "-shard
 	// i/n" partition). The zero value owns everything. Run/RunNoisy ignore
@@ -313,36 +313,30 @@ func (s *Suite) runFolds(cfg attack.Config, layer int, sd float64, insts []*atta
 }
 
 // runFold runs one leave-one-out fold, serving it from (and saving it to)
-// the checkpoint when the suite has one and the configuration is
-// content-addressable.
+// the checkpoint when the suite has one.
 func (s *Suite) runFold(pcfg attack.Config, layer int, sd float64,
 	insts []*attack.Instance, fold int) (*attack.Evaluation, float64, error) {
 
 	if s.Checkpoint != nil {
-		if u, ok := s.unit(pcfg, layer, sd, fold); ok {
-			ev, radius, _, err := sweep.RunUnit(s.Obs, s.Checkpoint, u, pcfg, insts)
-			return ev, radius, err
-		}
+		ev, radius, _, err := sweep.RunUnit(s.Obs, s.Checkpoint, s.unit(pcfg, layer, sd, fold), pcfg, insts)
+		return ev, radius, err
 	}
 	return attack.RunFoldInstances(pcfg, insts, fold)
 }
 
-// unit builds the sweep work unit of one fold; ok is false for
-// configurations that cannot be content-addressed (custom Learners).
-func (s *Suite) unit(pcfg attack.Config, layer int, sd float64, fold int) (sweep.Unit, bool) {
-	spec := pcfg.OptionsHash()
-	if spec == "" {
-		return sweep.Unit{}, false
-	}
+// unit builds the sweep work unit of one fold. Every configuration is
+// content-addressable — learner families serialize their identity into
+// OptionsHash — so every fold has a unit.
+func (s *Suite) unit(pcfg attack.Config, layer int, sd float64, fold int) sweep.Unit {
 	return sweep.Unit{
 		Prov:   s.provenance(),
 		Config: pcfg.Name,
-		Spec:   spec,
+		Spec:   pcfg.OptionsHash(),
 		Layer:  layer,
 		Noise:  sd,
 		Fold:   fold,
 		Design: s.Designs[fold].Name,
-	}, true
+	}
 }
 
 // RunPA executes (and caches) the validation-based proximity attack of cfg

@@ -275,11 +275,14 @@ func TestExtensionExperiments(t *testing.T) {
 func TestAllWithExtensions(t *testing.T) {
 	base := len(All())
 	ext := len(AllWithExtensions())
-	if ext != base+3 {
-		t.Errorf("AllWithExtensions has %d entries, want %d", ext, base+3)
+	if ext != base+4 {
+		t.Errorf("AllWithExtensions has %d entries, want %d", ext, base+4)
 	}
 	if _, err := ByID("ext-defense"); err != nil {
 		t.Errorf("ext-defense not registered: %v", err)
+	}
+	if _, err := ByID("ext-dl"); err != nil {
+		t.Errorf("ext-dl not registered: %v", err)
 	}
 }
 

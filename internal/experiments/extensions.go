@@ -8,6 +8,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/layout"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/obfuscate"
 	"repro/internal/sim"
 	"repro/internal/split"
@@ -23,9 +24,56 @@ import (
 func extExperiments() []Experiment {
 	return []Experiment{
 		{ID: "ext-classifiers", Title: "Extension: classifier bake-off (Bagging/REPTree vs RandomForest vs logistic)", Run: ExtClassifiers, Deps: depsExtClassifiers},
+		{ID: "ext-dl", Title: "Extension: DL-perspective attack (MLP + routing hints + list-wise ranking) vs Bagging", Run: ExtDL, Deps: depsExtDL},
 		{ID: "ext-defense", Title: "Extension: layout-level defenses (routing perturbation, wire lifting, trunk jogs) vs attack", Run: ExtDefense, Deps: depsExtDefense},
 		{ID: "ext-recovery", Title: "Extension: functional netlist recovery from PA pairings (logic simulation)", Run: ExtRecovery, Deps: depsExtRecovery},
 	}
+}
+
+// dlConfigs are the DL-perspective comparison configurations: the paper's
+// strongest Bagging pipeline against the MLP family (with the routing-hint
+// feature block) and the same MLP with the list-wise ranking head.
+func dlConfigs() []attack.Config {
+	return []attack.Config{attack.Imp11(), attack.DLMLP(), attack.DLMLPRank()}
+}
+
+// ExtDL recasts the DL-perspective split-manufacturing attack (Li et al.,
+// DAC'19/TCAD'20) onto this engine at the top split layer: a multi-layer
+// perceptron over the widened feature set including the routing-hint block,
+// with and without the list-wise ranking head, against the paper's Bagging
+// baseline. CCR is the correct-connection rate — the fraction of v-pins
+// whose true partner ranks first in the candidate list (accuracy at |LoC|=1).
+// The ranking head softmax-normalises each candidate list, which is monotone
+// per list: CCR and accuracy-at-K match the plain MLP exactly, while the
+// scores become per-list probability distributions (visible in the AUC,
+// which pools scores across lists).
+func ExtDL(s *Suite, w io.Writer) error {
+	const layer = 8
+	configs := dlConfigs()
+	results, err := s.RunAll(configs, layer)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Extension: DL-perspective attack - split layer %d\n", layer)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "model\tCCR\tacc@|LoC|=5\tacc@|LoC|=10\tpair AUC\truntime")
+	for ci, cfg := range configs {
+		res := results[ci]
+		var ccr, a5, a10, auc float64
+		for _, ev := range res.Evals {
+			ccr += ev.AccuracyAtK(1)
+			a5 += ev.AccuracyAtK(5)
+			a10 += ev.AccuracyAtK(10)
+			auc += pairAUC(ev)
+		}
+		n := float64(len(res.Evals))
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%.4f\t%v\n", cfg.Name,
+			fmtPct(ccr/n), fmtPct(a5/n), fmtPct(a10/n), auc/n,
+			(res.MeanTrainDur() + res.MeanTestDur()).Round(1e6))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+	return nil
 }
 
 // ExtRecovery goes past the paper's structural PA metric: it rewires each
@@ -87,11 +135,8 @@ func ExtRecovery(s *Suite, w io.Writer) error {
 // ExtClassifiers compares classifiers under the Imp-11 pipeline at split
 // layers 8 and 6: accuracy at fixed LoC sizes plus the pair-scoring AUC.
 func ExtClassifiers(s *Suite, w io.Writer) error {
-	logistic := attack.Imp11()
+	logistic := attack.WithFamily(attack.Imp11(), model.FamilyLogistic)
 	logistic.Name = "Imp-11-logistic"
-	logistic.Learner = func(ds *ml.Dataset, cfg attack.Config, rng *rand.Rand) (attack.Scorer, error) {
-		return ml.TrainLogistic(ds, ml.LogisticOptions{Features: cfg.Features}, rng)
-	}
 	forest := attack.WithBase(attack.Imp11(), ml.RandomTree, 0)
 	forest.Name = "Imp-11-RandomForest"
 	configs := []attack.Config{attack.Imp11(), forest, logistic}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/sweep"
 )
 
@@ -61,13 +62,19 @@ func depsNoise() []RunSpec {
 }
 
 func depsExtClassifiers() []RunSpec {
-	// The logistic variant carries a custom Learner and is not
-	// content-addressable; PlanRuns would drop it anyway, so only the two
-	// plannable classifiers are listed. The merge run computes logistic
-	// folds itself.
+	// Every classifier is a registered learner family now, so all three are
+	// content-addressable and checkpoint as plan units.
+	logistic := attack.WithFamily(attack.Imp11(), model.FamilyLogistic)
+	logistic.Name = "Imp-11-logistic"
 	forest := attack.WithBase(attack.Imp11(), ml.RandomTree, 0)
 	forest.Name = "Imp-11-RandomForest"
-	return crossLayers([]attack.Config{attack.Imp11(), forest}, []int{8, 6})
+	return crossLayers([]attack.Config{attack.Imp11(), forest, logistic}, []int{8, 6})
+}
+
+// depsExtDL covers the DL-perspective comparison: Bagging vs the MLP family
+// vs the MLP with the list-wise ranking head, at the top split layer.
+func depsExtDL() []RunSpec {
+	return crossLayers(dlConfigs(), []int{8})
 }
 
 func depsExtDefense() []RunSpec {
@@ -101,28 +108,22 @@ type PlanUnit struct {
 
 // PlanRuns expands run specs into the suite's work units: one unit per
 // (spec × fold), deduplicated across specs (experiments share runs — Tables
-// IV and V and Fig. 9 all consume the same sweeps) and skipping
-// configurations that are not content-addressable (custom Learners).
-// Enumeration is deterministic: same suite, same specs, same plan.
+// IV and V and Fig. 9 all consume the same sweeps). Every configuration is
+// content-addressable — learner families serialize their identity into
+// OptionsHash — so every spec plans. Enumeration is deterministic: same
+// suite, same specs, same plan.
 func (s *Suite) PlanRuns(runs []RunSpec) []PlanUnit {
 	var units []PlanUnit
 	seen := map[string]bool{}
 	for _, r := range runs {
 		pcfg := s.prepare(r.Config)
-		if pcfg.OptionsHash() == "" {
-			continue
-		}
 		runKey := fmt.Sprintf("%s@%d/%g", pcfg.Name, r.Layer, r.Noise)
 		if seen[runKey] {
 			continue
 		}
 		seen[runKey] = true
 		for fold := range s.Designs {
-			u, ok := s.unit(pcfg, r.Layer, r.Noise, fold)
-			if !ok {
-				continue
-			}
-			units = append(units, PlanUnit{Unit: u, Config: pcfg})
+			units = append(units, PlanUnit{Unit: s.unit(pcfg, r.Layer, r.Noise, fold), Config: pcfg})
 		}
 	}
 	return units

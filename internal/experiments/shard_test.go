@@ -237,3 +237,62 @@ func TestSharedModelStoreDedup(t *testing.T) {
 		t.Errorf("second run recorded %d disk hits, want %d", hits, folds)
 	}
 }
+
+// TestMLPFoldsCheckpointAndResume: MLP-family folds are sweep units like any
+// other — a second process pointed at the same checkpoint directory loads
+// every fold from disk instead of retraining, and reproduces the digests.
+func TestMLPFoldsCheckpointAndResume(t *testing.T) {
+	ckDir := t.TempDir()
+	cfg := attack.DLMLP()
+	cfg.MLPEpochs = 3
+	plan := []RunSpec{{Config: cfg, Layer: 8}}
+
+	first := freshSuite(t)
+	ck, err := sweep.Open(ckDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Checkpoint = ck
+	stats, err := first.RunPlan(first.PlanRuns(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Planned == 0 || stats.Computed != stats.Planned {
+		t.Fatalf("first run %s; want every planned unit computed", stats)
+	}
+	res, err := first.Run(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(res.Evals))
+	for fold, ev := range res.Evals {
+		want[fold] = ev.Digest()
+	}
+
+	resumed := freshSuite(t)
+	resumed.Obs = obs.New(obs.Options{Command: "test"})
+	ck2, err := sweep.Open(ckDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed.Checkpoint = ck2
+	rstats, err := resumed.RunPlan(resumed.PlanRuns(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rstats.Loaded != stats.Planned || rstats.Computed != 0 {
+		t.Errorf("resume stats %s; want all %d units loaded, none computed", rstats, stats.Planned)
+	}
+	if done := resumed.Obs.Metrics().Counter("sweep.units.done").Value(); done != 0 {
+		t.Errorf("resume retrained %d MLP folds; want 0", done)
+	}
+	rres, err := resumed.Run(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fold, ev := range rres.Evals {
+		if ev.Digest() != want[fold] {
+			t.Errorf("fold %d digest %s after resume, want %s", fold, ev.Digest(), want[fold])
+		}
+	}
+}

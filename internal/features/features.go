@@ -27,8 +27,38 @@ const (
 	DiffArea
 	PlacementCongestion
 	RoutingCongestion
-	// NumFeatures is the size of a full feature vector.
+	// NumFeatures is the size of the paper's full feature vector — and the
+	// base row width every pre-existing configuration uses. The routing-hint
+	// block below extends vectors past it; Width resolves the width a
+	// feature set actually needs.
 	NumFeatures
+)
+
+// Routing-hint feature block: wirelength/direction-of-travel features in the
+// spirit of the DL-perspective attack (Li et al., DAC'19/TCAD'20), which
+// augments the pair geometry with hints about where each cut route was
+// heading. The indices sit past NumFeatures so the paper's Set9/Set7/Set11
+// vectors — and everything hashed over them — stay byte-identical; only
+// configurations that select these indices get the wider rows.
+const (
+	// RoutingSlackSum is slack_a + slack_b, where slack_i is v-pin i's
+	// routed wirelength minus the direct pin-to-v-pin Manhattan distance —
+	// how much detour the FEOL fragment took.
+	RoutingSlackSum = NumFeatures + iota
+	// RoutingSlackDiff is |slack_a - slack_b|: matching fragments of one net
+	// tend to have been detoured by the same congestion.
+	RoutingSlackDiff
+	// RoutingNetLength estimates the joined net's total length:
+	// w_a + w_b + ManhattanVpin.
+	RoutingNetLength
+	// RoutingDirAlign measures direction-of-travel agreement: the
+	// L1-normalised pin-to-v-pin travel direction of each side, projected
+	// onto the (normalised) v-pin displacement toward the other side and
+	// summed. Truly matching fragments travel toward each other, so the
+	// feature is large and positive for true pairs. Symmetric in (a, b).
+	RoutingDirAlign
+	// NumAll is the width of a vector carrying the routing-hint block.
+	NumAll
 )
 
 // Names maps feature indices to the names used in the paper.
@@ -44,6 +74,36 @@ var Names = [NumFeatures]string{
 	"DiffCellArea",
 	"PlacementCongestion",
 	"RoutingCongestion",
+}
+
+// routingNames extends Names over the routing-hint block.
+var routingNames = [NumAll - NumFeatures]string{
+	"RoutingSlackSum",
+	"RoutingSlackDiff",
+	"RoutingNetLength",
+	"RoutingDirAlign",
+}
+
+// Name returns the display name of any feature index, covering both the
+// paper's block (Names) and the routing-hint block.
+func Name(i int) string {
+	if i < NumFeatures {
+		return Names[i]
+	}
+	return routingNames[i-NumFeatures]
+}
+
+// Width is the feature-row width a feature set needs: NumFeatures for every
+// subset of the paper's block (keeping those rows byte-identical to what
+// they always were), and up to NumAll when routing-hint indices appear.
+func Width(set []int) int {
+	w := NumFeatures
+	for _, f := range set {
+		if f >= w {
+			w = f + 1
+		}
+	}
+	return w
 }
 
 // Set9 is the feature subset of the ML-9 and Imp-9 configurations: the
@@ -69,12 +129,23 @@ func Set11() []int {
 	return s
 }
 
+// Set15 is Set11 plus the routing-hint block — the feature set of the
+// DL-perspective configurations.
+func Set15() []int {
+	s := make([]int, NumAll)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
 // Extractor computes pair feature vectors for one challenge.
 type Extractor struct {
 	n              int
 	px, py, vx, vy []float64
 	w, inA, outA   []float64
 	pc, rc         []float64
+	ux, uy, slack  []float64
 	driver         []bool
 }
 
@@ -87,6 +158,7 @@ func NewExtractor(c *split.Challenge) *Extractor {
 		vx: make([]float64, n), vy: make([]float64, n),
 		w: make([]float64, n), inA: make([]float64, n), outA: make([]float64, n),
 		pc: make([]float64, n), rc: make([]float64, n),
+		ux: make([]float64, n), uy: make([]float64, n), slack: make([]float64, n),
 		driver: make([]bool, n),
 	}
 	for i := range c.VPins {
@@ -97,6 +169,14 @@ func NewExtractor(c *split.Challenge) *Extractor {
 		e.inA[i], e.outA[i] = v.InArea, v.OutArea
 		e.pc[i], e.rc[i] = c.PC(v), c.RC(v)
 		e.driver[i] = v.IsDriverSide()
+		// Routing hints: the FEOL fragment's direction of travel is the
+		// L1-normalised pin→v-pin displacement (zero when pin == v-pin),
+		// its slack the routed wirelength beyond that direct distance.
+		dx, dy := e.vx[i]-e.px[i], e.vy[i]-e.py[i]
+		if l := abs(dx) + abs(dy); l > 0 {
+			e.ux[i], e.uy[i] = dx/l, dy/l
+		}
+		e.slack[i] = e.w[i] - abs(dx) - abs(dy)
 	}
 	return e
 }
@@ -110,9 +190,11 @@ func (e *Extractor) Legal(a, b int) bool {
 	return !(e.driver[a] && e.driver[b])
 }
 
-// Pair fills out with the 11 features of the v-pin pair (a, b). out must
-// have length NumFeatures. All features are symmetric: Pair(a, b) equals
-// Pair(b, a).
+// Pair fills out with the features of the v-pin pair (a, b). out must have
+// length NumFeatures, or NumAll when a configuration selects routing-hint
+// indices (the extra block is only computed when out reaches into it, so
+// 11-wide rows cost exactly what they always did). All features are
+// symmetric: Pair(a, b) equals Pair(b, a).
 func (e *Extractor) Pair(a, b int, out []float64) {
 	out[DiffPinX] = abs(e.px[a] - e.px[b])
 	out[DiffPinY] = abs(e.py[a] - e.py[b])
@@ -125,6 +207,24 @@ func (e *Extractor) Pair(a, b int, out []float64) {
 	out[DiffArea] = (e.outA[a] + e.outA[b]) - (e.inA[a] + e.inA[b])
 	out[PlacementCongestion] = e.pc[a] + e.pc[b]
 	out[RoutingCongestion] = e.rc[a] + e.rc[b]
+	if len(out) > NumFeatures {
+		e.routingPair(a, b, out)
+	}
+}
+
+// routingPair fills the routing-hint block. RoutingDirAlign projects each
+// side's travel direction onto the v-pin displacement pointing at the other
+// side; writing both projections against the a→b displacement t flips the
+// sign of b's term, so the sum is symmetric under swapping a and b.
+func (e *Extractor) routingPair(a, b int, out []float64) {
+	out[RoutingSlackSum] = e.slack[a] + e.slack[b]
+	out[RoutingSlackDiff] = abs(e.slack[a] - e.slack[b])
+	out[RoutingNetLength] = e.w[a] + e.w[b] + out[ManhattanVpin]
+	tx, ty := e.vx[b]-e.vx[a], e.vy[b]-e.vy[a]
+	if l := abs(tx) + abs(ty); l > 0 {
+		tx, ty = tx/l, ty/l
+	}
+	out[RoutingDirAlign] = (e.ux[a]-e.ux[b])*tx + (e.uy[a]-e.uy[b])*ty
 }
 
 // VpinDist returns the ManhattanVpin distance of the pair, used for

@@ -191,3 +191,128 @@ func TestExtractorN(t *testing.T) {
 		t.Error("extractor N mismatch")
 	}
 }
+
+func TestWidth(t *testing.T) {
+	cases := []struct {
+		set  []int
+		want int
+	}{
+		{nil, NumFeatures},
+		{Set7(), NumFeatures},
+		{Set9(), NumFeatures},
+		{Set11(), NumFeatures},
+		{Set15(), NumAll},
+		{[]int{RoutingSlackSum}, RoutingSlackSum + 1},
+		{[]int{DiffPinX, RoutingDirAlign}, NumAll},
+	}
+	for _, c := range cases {
+		if got := Width(c.set); got != c.want {
+			t.Errorf("Width(%v) = %d, want %d", c.set, got, c.want)
+		}
+	}
+}
+
+func TestSet15(t *testing.T) {
+	s := Set15()
+	if len(s) != NumAll {
+		t.Fatalf("Set15 has %d features, want %d", len(s), NumAll)
+	}
+	for i, f := range s {
+		if f != i {
+			t.Fatalf("Set15[%d] = %d, want %d", i, f, i)
+		}
+	}
+}
+
+func TestNameCoversAllIndices(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumAll; i++ {
+		n := Name(i)
+		if n == "" {
+			t.Errorf("feature %d unnamed", i)
+		}
+		if seen[n] {
+			t.Errorf("duplicate feature name %q", n)
+		}
+		seen[n] = true
+	}
+	for i := 0; i < NumFeatures; i++ {
+		if Name(i) != Names[i] {
+			t.Errorf("Name(%d) = %q diverges from Names[%d] = %q", i, Name(i), i, Names[i])
+		}
+	}
+}
+
+// TestRoutingPairSymmetry covers the routing-hint block: every feature,
+// including the direction-projection one, must be invariant under swapping
+// the pair.
+func TestRoutingPairSymmetry(t *testing.T) {
+	e := NewExtractor(testChallenge(t))
+	rng := rand.New(rand.NewSource(4))
+	fa := make([]float64, NumAll)
+	fb := make([]float64, NumAll)
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Intn(e.N()), rng.Intn(e.N())
+		e.Pair(a, b, fa)
+		e.Pair(b, a, fb)
+		for k := 0; k < NumAll; k++ {
+			if fa[k] != fb[k] {
+				t.Fatalf("feature %s asymmetric for pair (%d,%d): %f vs %f",
+					Name(k), a, b, fa[k], fb[k])
+			}
+		}
+	}
+}
+
+// TestRoutingPairHandComputation cross-checks the routing-hint block against
+// a direct computation from the challenge's v-pin records.
+func TestRoutingPairHandComputation(t *testing.T) {
+	c := testChallenge(t)
+	e := NewExtractor(c)
+	f := make([]float64, NumAll)
+	manhattan := func(v *split.VPin) float64 {
+		return float64((v.Pos.X - v.PinLoc.X).Abs() + (v.Pos.Y - v.PinLoc.Y).Abs())
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		a, b := rng.Intn(e.N()), rng.Intn(e.N())
+		e.Pair(a, b, f)
+		va, vb := &c.VPins[a], &c.VPins[b]
+		sa := float64(va.Wirelength) - manhattan(va)
+		sb := float64(vb.Wirelength) - manhattan(vb)
+		if f[RoutingSlackSum] != sa+sb {
+			t.Fatalf("RoutingSlackSum = %f, want %f", f[RoutingSlackSum], sa+sb)
+		}
+		if want := abs(sa - sb); f[RoutingSlackDiff] != want {
+			t.Fatalf("RoutingSlackDiff = %f, want %f", f[RoutingSlackDiff], want)
+		}
+		if want := float64(va.Wirelength+vb.Wirelength) + f[ManhattanVpin]; f[RoutingNetLength] != want {
+			t.Fatalf("RoutingNetLength = %f, want %f", f[RoutingNetLength], want)
+		}
+		if sa < 0 || sb < 0 {
+			t.Fatalf("negative routing slack %f/%f for v-pins %d/%d", sa, sb, a, b)
+		}
+	}
+}
+
+// TestBaseBlockUnchangedByWiderRows pins the byte-stability contract: an
+// 11-wide row and the first 11 entries of a 15-wide row for the same pair
+// are identical, so pre-existing Set9/Set11 vectors (and everything hashed
+// over them) are untouched by the routing-hint block.
+func TestBaseBlockUnchangedByWiderRows(t *testing.T) {
+	e := NewExtractor(testChallenge(t))
+	rng := rand.New(rand.NewSource(6))
+	narrow := make([]float64, NumFeatures)
+	wide := make([]float64, NumAll)
+	for trial := 0; trial < 200; trial++ {
+		a, b := rng.Intn(e.N()), rng.Intn(e.N())
+		e.Pair(a, b, narrow)
+		e.Pair(a, b, wide)
+		for k := 0; k < NumFeatures; k++ {
+			if narrow[k] != wide[k] {
+				t.Fatalf("feature %s differs between 11-wide and 15-wide rows: %f vs %f",
+					Name(k), narrow[k], wide[k])
+			}
+		}
+	}
+}

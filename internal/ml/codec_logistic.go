@@ -1,0 +1,107 @@
+package ml
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Binary codec for trained Logistic models, completing the learner-family
+// contract: every family an artifact can carry has a versioned, CRC-checked
+// payload codec with bit-exact round-trips.
+//
+//	magic    "MLLR"                      4 bytes
+//	version  uint16 little-endian        currently 1
+//	m        uint32                      feature-subset size
+//	features m × uint32                  feature column of each input
+//	w        m × float64                 weights over standardised features
+//	mean     m × float64                 feature standardisation
+//	sd       m × float64
+//	b        float64
+//	crc      uint32                      IEEE CRC-32 of everything above
+const (
+	logisticMagic = "MLLR"
+	// LogisticCodecVersion is the current on-disk logistic format version.
+	LogisticCodecVersion = 1
+)
+
+const logisticHeaderLen = 4 + 2 + 4 // magic, version, m
+
+// MarshalBinary encodes the model in the versioned binary format above.
+func (lg *Logistic) MarshalBinary() ([]byte, error) {
+	if len(lg.features) == 0 {
+		return nil, fmt.Errorf("ml: cannot encode an empty logistic model")
+	}
+	m := len(lg.features)
+	buf := make([]byte, 0, logisticHeaderLen+4*m+8*(3*m+1)+4)
+	buf = append(buf, logisticMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, LogisticCodecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m))
+	for _, f := range lg.features {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f))
+	}
+	for _, vs := range [][]float64{lg.w, lg.mean, lg.sd} {
+		for _, v := range vs {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(lg.b))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// UnmarshalLogistic decodes a model encoded by MarshalBinary, validating
+// the checksum and structural invariants. The returned Logistic is
+// bit-identical to the encoded one.
+func UnmarshalLogistic(data []byte) (*Logistic, error) {
+	if len(data) < logisticHeaderLen+4 {
+		return nil, fmt.Errorf("ml: logistic blob truncated (%d bytes)", len(data))
+	}
+	if string(data[:4]) != logisticMagic {
+		return nil, fmt.Errorf("ml: not a logistic blob (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint16(data[4:]); v != LogisticCodecVersion {
+		return nil, fmt.Errorf("ml: unsupported logistic codec version %d (have %d)",
+			v, LogisticCodecVersion)
+	}
+	m := int(binary.LittleEndian.Uint32(data[6:]))
+	want := logisticHeaderLen + 4*m + 8*(3*m+1) + 4
+	if m <= 0 || m > 1<<20 || len(data) != want {
+		return nil, fmt.Errorf("ml: logistic blob is %d bytes, want %d for %d features",
+			len(data), want, m)
+	}
+	if got, stored := crc32.ChecksumIEEE(data[:len(data)-4]),
+		binary.LittleEndian.Uint32(data[len(data)-4:]); got != stored {
+		return nil, fmt.Errorf("ml: logistic blob checksum mismatch (corrupted payload)")
+	}
+	lg := &Logistic{
+		w:        make([]float64, m),
+		mean:     make([]float64, m),
+		sd:       make([]float64, m),
+		features: make([]int, m),
+	}
+	off := logisticHeaderLen
+	for i := range lg.features {
+		lg.features[i] = int(int32(binary.LittleEndian.Uint32(data[off:])))
+		off += 4
+	}
+	for _, dst := range [][]float64{lg.w, lg.mean, lg.sd} {
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	lg.b = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+	for i, f := range lg.features {
+		if f < 0 {
+			return nil, fmt.Errorf("ml: logistic feature column %d is negative (%d)", i, f)
+		}
+	}
+	for i := range lg.sd {
+		if lg.sd[i] == 0 || math.IsNaN(lg.sd[i]) || math.IsInf(lg.sd[i], 0) {
+			return nil, fmt.Errorf("ml: logistic sd[%d] is not a valid scale (%v)", i, lg.sd[i])
+		}
+	}
+	return lg, nil
+}

@@ -1,0 +1,380 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMLPLearnsSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := separableData(1000, rng)
+	nn, err := TrainMLP(ds, MLPOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range ds.X {
+		if (nn.Prob(ds.X[i]) >= 0.5) == ds.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.Len()); acc < 0.95 {
+		t.Errorf("mlp accuracy %.3f on separable data", acc)
+	}
+}
+
+func TestMLPLearnsNonlinearData(t *testing.T) {
+	// XOR-style labels: no linear model can beat chance, a one-hidden-layer
+	// network must — this is the capability the family adds over Logistic.
+	rng := rand.New(rand.NewSource(2))
+	ds := &Dataset{}
+	for i := 0; i < 2000; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		ds.Add([]float64{a, b}, (a > 0) != (b > 0))
+	}
+	nn, err := TrainMLP(ds, MLPOptions{Hidden: 8, Epochs: 60}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg, err := TrainLogistic(ds, LogisticOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accOf := func(prob func([]float64) float64) float64 {
+		correct := 0
+		for i := range ds.X {
+			if (prob(ds.X[i]) >= 0.5) == ds.Y[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(ds.Len())
+	}
+	nnAcc, lgAcc := accOf(nn.Prob), accOf(lg.Prob)
+	if nnAcc < 0.9 {
+		t.Errorf("mlp accuracy %.3f on XOR data", nnAcc)
+	}
+	if lgAcc > 0.65 {
+		t.Errorf("logistic accuracy %.3f on XOR data; test data is not nonlinear enough", lgAcc)
+	}
+}
+
+func TestMLPHandlesUnscaledFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := &Dataset{}
+	for i := 0; i < 1000; i++ {
+		y := rng.Intn(2) == 0
+		big := rng.NormFloat64() * 1e7
+		if y {
+			big += 2e7
+		}
+		ds.Add([]float64{big, rng.Float64() * 1e-3}, y)
+	}
+	nn, err := TrainMLP(ds, MLPOptions{}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range ds.X {
+		if (nn.Prob(ds.X[i]) >= 0.5) == ds.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(ds.Len()); acc < 0.8 {
+		t.Errorf("accuracy %.3f on unscaled features", acc)
+	}
+}
+
+// TestMLPDeterministic pins the family contract the Spec/Store layers rely
+// on: the same dataset and seed produce bit-identical weights, so a cached
+// artifact is indistinguishable from a retrain.
+func TestMLPDeterministic(t *testing.T) {
+	ds := noisyData(600, 0.15, rand.New(rand.NewSource(10)))
+	train := func() []byte {
+		nn, err := TrainMLP(ds, MLPOptions{Hidden: 8, Epochs: 10}, rand.New(rand.NewSource(11)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := nn.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	if !bytes.Equal(train(), train()) {
+		t.Fatal("two same-seed trainings produced different weights")
+	}
+}
+
+// TestMLPProbBatchBitIdentity pins the BatchScorer contract: ProbBatch must
+// reproduce Prob bit for bit over a strided matrix, including rows wider
+// than the trained feature subset.
+func TestMLPProbBatchBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ds := noisyData(400, 0.2, rng)
+	nn, err := TrainMLP(ds, MLPOptions{Hidden: 6, Epochs: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, stride = 64, 5
+	rows := make([]float64, n*stride)
+	for i := range rows {
+		rows[i] = rng.NormFloat64()
+	}
+	out := make([]float64, n)
+	nn.ProbBatch(rows, stride, out)
+	for r := 0; r < n; r++ {
+		if want := nn.Prob(rows[r*stride : (r+1)*stride]); out[r] != want {
+			t.Fatalf("row %d: ProbBatch = %v, Prob = %v (must be bit-identical)", r, out[r], want)
+		}
+	}
+}
+
+func TestMLPProbBatchAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	ds := noisyData(300, 0.2, rng)
+	nn, err := TrainMLP(ds, MLPOptions{Hidden: 6, Epochs: 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]float64, 32*2)
+	out := make([]float64, 32)
+	if allocs := testing.AllocsPerRun(20, func() { nn.ProbBatch(rows, 2, out) }); allocs != 0 {
+		t.Errorf("ProbBatch allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestMLPProbBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	ds := noisyData(300, 0.2, rng)
+	nn, err := TrainMLP(ds, MLPOptions{Epochs: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p := nn.Prob([]float64{rng.NormFloat64() * 100, rng.NormFloat64() * 100})
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("Prob out of [0, 1]: %v", p)
+		}
+	}
+}
+
+func TestMLPRejectsBadInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	if _, err := TrainMLP(&Dataset{}, MLPOptions{}, rng); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	ds := separableData(10, rng)
+	if _, err := TrainMLP(ds, MLPOptions{Features: []int{7}}, rng); err == nil {
+		t.Error("out-of-range feature accepted")
+	}
+}
+
+// mlpFixture trains a small deterministic network for codec tests.
+func mlpFixture(t *testing.T) *MLP {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	ds := noisyData(500, 0.2, rng)
+	nn, err := TrainMLP(ds, MLPOptions{Hidden: 4, Epochs: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nn
+}
+
+func TestMLPCodecRoundTrip(t *testing.T) {
+	nn := mlpFixture(t)
+	blob, err := nn.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := UnmarshalMLP(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Hidden() != nn.Hidden() {
+		t.Fatalf("decoded hidden = %d, want %d", d.Hidden(), nn.Hidden())
+	}
+	rng := rand.New(rand.NewSource(100))
+	for i := 0; i < 1000; i++ {
+		x := []float64{rng.NormFloat64(), rng.Float64()}
+		if got, want := d.Prob(x), nn.Prob(x); got != want {
+			t.Fatalf("decoded Prob = %v, original = %v (must be bit-identical)", got, want)
+		}
+	}
+	blob2, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-encoded blob differs from the original")
+	}
+}
+
+func TestMLPCodecRejectsCorruption(t *testing.T) {
+	nn := mlpFixture(t)
+	blob, err := nn.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+		errPart string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "truncated"},
+		{"truncated header", func(b []byte) []byte { return b[:8] }, "truncated"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-5] }, "bytes, want"},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0) }, "bytes, want"},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "bad magic"},
+		{"ensemble magic", func(b []byte) []byte { copy(b, ensembleMagic); return b }, "bad magic"},
+		{"future version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[4:], 999)
+			return b
+		}, "unsupported mlp codec version"},
+		{"payload bit flip", func(b []byte) []byte { b[20] ^= 0x40; return b }, "checksum mismatch"},
+		{"checksum flip", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }, "checksum mismatch"},
+		{"zero hidden", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[6:], 0)
+			return recrc(b)
+		}, "bytes, want"},
+		{"negative feature", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[mlpHeaderLen:], ^uint32(0))
+			return recrc(b)
+		}, "negative"},
+		{"nan weight", func(b []byte) []byte {
+			off := mlpHeaderLen + 4*len(nn.features)
+			binary.LittleEndian.PutUint64(b[off:], 0xFFF8000000000000)
+			return recrc(b)
+		}, "not finite"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.corrupt(append([]byte(nil), blob...))
+			_, err := UnmarshalMLP(data)
+			if err == nil {
+				t.Fatal("corrupted blob decoded without error")
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("error %q does not mention %q", err, tc.errPart)
+			}
+		})
+	}
+}
+
+// TestMLPCodecGolden pins the on-disk format; regenerate with
+// `go test -run Golden -update ./internal/ml/`.
+func TestMLPCodecGolden(t *testing.T) {
+	nn := mlpFixture(t)
+	blob, err := nn.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "mlp_v1.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatalf("encoded blob (%d bytes) differs from golden (%d bytes); if the format change is intentional, bump MLPCodecVersion and run with -update", len(blob), len(want))
+	}
+	d, err := UnmarshalMLP(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.NormFloat64(), rng.Float64()}
+		if got, want := d.Prob(x), nn.Prob(x); got != want {
+			t.Fatalf("golden-decoded Prob = %v, fixture = %v", got, want)
+		}
+	}
+}
+
+func TestLogisticCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	ds := noisyData(500, 0.2, rng)
+	lg, err := TrainLogistic(ds, LogisticOptions{Epochs: 10}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := lg.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := UnmarshalLogistic(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		x := []float64{rng.NormFloat64(), rng.Float64()}
+		if got, want := d.Prob(x), lg.Prob(x); got != want {
+			t.Fatalf("decoded Prob = %v, original = %v (must be bit-identical)", got, want)
+		}
+	}
+	blob2, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("re-encoded blob differs from the original")
+	}
+}
+
+func TestLogisticCodecRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	ds := noisyData(300, 0.2, rng)
+	lg, err := TrainLogistic(ds, LogisticOptions{Epochs: 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := lg.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+		errPart string
+	}{
+		{"empty", func(b []byte) []byte { return nil }, "truncated"},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }, "bad magic"},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-5] }, "bytes, want"},
+		{"future version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[4:], 999)
+			return b
+		}, "unsupported logistic codec version"},
+		{"payload bit flip", func(b []byte) []byte { b[12] ^= 0x40; return b }, "checksum mismatch"},
+		{"zero sd", func(b []byte) []byte {
+			m := len(lg.features)
+			off := logisticHeaderLen + 4*m + 8*2*m // past features, w, mean
+			binary.LittleEndian.PutUint64(b[off:], 0)
+			return recrc(b)
+		}, "valid scale"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.corrupt(append([]byte(nil), blob...))
+			_, err := UnmarshalLogistic(data)
+			if err == nil {
+				t.Fatal("corrupted blob decoded without error")
+			}
+			if !strings.Contains(err.Error(), tc.errPart) {
+				t.Fatalf("error %q does not mention %q", err, tc.errPart)
+			}
+		})
+	}
+}

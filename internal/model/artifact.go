@@ -21,6 +21,11 @@ type Meta struct {
 	SpecHash string `json:"spec_hash"`
 	// Config is the attack configuration's display name.
 	Config string `json:"config"`
+	// Family is the artifact's learner-family kind tag, dispatching the
+	// payload sections to the family's codec. Empty means FamilyBagging —
+	// and is omitted from the JSON, so every bagging artifact's bytes are
+	// identical to the pre-family format (container version 1 throughout).
+	Family string `json:"family,omitempty"`
 	// Level is 1 for a plain ensemble, 2 when a two-level-pruning model
 	// rides along.
 	Level int `json:"level"`
@@ -45,15 +50,16 @@ type Meta struct {
 	Version string `json:"version"`
 }
 
-// Artifact is a trained model ready for scoring: the compiled level-1
-// ensemble, the optional level-2 ensemble, and the metadata describing
-// their provenance. Artifacts are immutable and safe to share between
-// concurrent scoring runs.
+// Artifact is a trained model ready for scoring: the level-1 scorer, the
+// optional level-2 scorer, and the metadata describing their provenance.
+// Artifacts are immutable and safe to share between concurrent scoring
+// runs.
 type Artifact struct {
 	Meta Meta
 
-	// l1 and l2 are the trained scorers. They are *ml.Ensemble except for
-	// custom-Learner artifacts, which exist only in memory.
+	// l1 and l2 are the trained scorers; their concrete type is the
+	// Meta.Family's (compiled *ml.Ensemble for bagging, *ml.MLP for mlp,
+	// *ml.Logistic for logistic).
 	l1, l2 pairs.Scorer
 }
 
@@ -67,8 +73,8 @@ func (a *Artifact) Scorer() pairs.Scorer {
 	return a.l1
 }
 
-// Ensembles returns the compiled arenas, with ok false for custom-Learner
-// artifacts (level2 is nil for one-level artifacts).
+// Ensembles returns the compiled arenas, with ok false for families that
+// do not train ensembles (level2 is nil for one-level artifacts).
 func (a *Artifact) Ensembles() (level1, level2 *ml.Ensemble, ok bool) {
 	e1, ok1 := a.l1.(*ml.Ensemble)
 	if !ok1 {
@@ -88,36 +94,41 @@ func (a *Artifact) Ensembles() (level1, level2 *ml.Ensemble, ok bool) {
 //
 //	magic   "SPLITMDL"                   8 bytes
 //	version uint16 little-endian         currently 1
-//	meta    uint32 length + JSON Meta
-//	level1  uint32 length + ml ensemble blob
-//	level2  uint32 length + ml ensemble blob (length 0 when absent)
+//	meta    uint32 length + JSON Meta    (Meta.Family is the payload kind tag)
+//	level1  uint32 length + family payload blob
+//	level2  uint32 length + family payload blob (length 0 when absent)
 //	crc     uint32                       IEEE CRC-32 of everything above
+//
+// The payload sections are encoded and decoded by the Meta.Family's codec
+// (self-checking blobs with their own magic, version, and CRC), dispatched
+// through the registry. Bagging payloads are ml ensemble blobs exactly as
+// before the kind tag existed, and an absent Family tag means bagging, so
+// the container version stays 1 and pre-family artifacts load unchanged.
 const (
 	artifactMagic = "SPLITMDL"
 	// ArtifactCodecVersion is the current on-disk artifact format version.
 	ArtifactCodecVersion = 1
 )
 
-// MarshalBinary encodes the artifact in the versioned container format. It
-// fails for custom-Learner artifacts, whose scorers have no canonical
-// serialized form.
+// MarshalBinary encodes the artifact in the versioned container format,
+// dispatching the payload sections through the Meta.Family's codec.
 func (a *Artifact) MarshalBinary() ([]byte, error) {
-	e1, e2, ok := a.Ensembles()
-	if !ok {
-		return nil, fmt.Errorf("model: artifact %s holds a custom learner's scorer and cannot be serialized", a.Meta.Config)
+	fam, err := FamilyByName(a.Meta.Family)
+	if err != nil {
+		return nil, fmt.Errorf("model: artifact %s: %w", a.Meta.Config, err)
 	}
 	metaBlob, err := json.Marshal(a.Meta)
 	if err != nil {
 		return nil, fmt.Errorf("model: encoding artifact metadata: %w", err)
 	}
-	l1Blob, err := e1.MarshalBinary()
+	l1Blob, err := fam.Encode(a.l1)
 	if err != nil {
-		return nil, fmt.Errorf("model: encoding level-1 ensemble: %w", err)
+		return nil, fmt.Errorf("model: encoding level-1 payload: %w", err)
 	}
 	var l2Blob []byte
-	if e2 != nil {
-		if l2Blob, err = e2.MarshalBinary(); err != nil {
-			return nil, fmt.Errorf("model: encoding level-2 ensemble: %w", err)
+	if a.l2 != nil {
+		if l2Blob, err = fam.Encode(a.l2); err != nil {
+			return nil, fmt.Errorf("model: encoding level-2 payload: %w", err)
 		}
 	}
 	buf := make([]byte, 0, len(artifactMagic)+2+3*4+len(metaBlob)+len(l1Blob)+len(l2Blob)+4)
@@ -132,8 +143,8 @@ func (a *Artifact) MarshalBinary() ([]byte, error) {
 }
 
 // UnmarshalArtifact decodes an artifact encoded by MarshalBinary,
-// validating the container checksum, the embedded ensemble blobs, and the
-// consistency of the metadata with the decoded arenas.
+// validating the container checksum, the embedded family payload blobs, and
+// the consistency of the metadata with the decoded payloads.
 func UnmarshalArtifact(data []byte) (*Artifact, error) {
 	headerLen := len(artifactMagic) + 2
 	if len(data) < headerLen+3*4+4 {
@@ -172,22 +183,26 @@ func UnmarshalArtifact(data []byte) (*Artifact, error) {
 	if err := json.Unmarshal(blobs[0], &a.Meta); err != nil {
 		return nil, fmt.Errorf("model: decoding artifact metadata: %w", err)
 	}
-	e1, err := ml.UnmarshalEnsemble(blobs[1])
+	fam, err := FamilyByName(a.Meta.Family)
 	if err != nil {
-		return nil, fmt.Errorf("model: decoding level-1 ensemble: %w", err)
+		return nil, fmt.Errorf("model: decoding artifact: %w", err)
 	}
-	a.l1 = e1
+	l1, err := fam.Decode(blobs[1])
+	if err != nil {
+		return nil, fmt.Errorf("model: decoding level-1 payload: %w", err)
+	}
+	a.l1 = l1
 	switch {
 	case a.Meta.Level == 2 && len(blobs[2]) == 0:
-		return nil, fmt.Errorf("model: two-level artifact is missing its level-2 ensemble")
+		return nil, fmt.Errorf("model: two-level artifact is missing its level-2 payload")
 	case a.Meta.Level != 2 && len(blobs[2]) != 0:
-		return nil, fmt.Errorf("model: level-%d artifact carries an unexpected level-2 ensemble", a.Meta.Level)
+		return nil, fmt.Errorf("model: level-%d artifact carries an unexpected level-2 payload", a.Meta.Level)
 	case len(blobs[2]) != 0:
-		e2, err := ml.UnmarshalEnsemble(blobs[2])
+		l2, err := fam.Decode(blobs[2])
 		if err != nil {
-			return nil, fmt.Errorf("model: decoding level-2 ensemble: %w", err)
+			return nil, fmt.Errorf("model: decoding level-2 payload: %w", err)
 		}
-		a.l2 = e2
+		a.l2 = l2
 	}
 	return a, nil
 }

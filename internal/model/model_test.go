@@ -10,7 +10,6 @@ import (
 
 	"repro/internal/features"
 	"repro/internal/layout"
-	"repro/internal/ml"
 	"repro/internal/obs"
 	"repro/internal/pairs"
 	"repro/internal/split"
@@ -426,39 +425,6 @@ func TestStoreCoalescesConcurrentTraining(t *testing.T) {
 		if arts[i] != arts[0] {
 			t.Fatal("coalesced callers received different artifacts")
 		}
-	}
-}
-
-// constScorer is a trivial Scorer standing in for a custom Learner's model.
-type constScorer struct{}
-
-func (constScorer) Prob(x []float64) float64 { return 0.5 }
-
-// TestStoreSkipsCustomLearners: Learner-trained scorers have no canonical
-// content, so their specs bypass the cache entirely and train every call.
-func TestStoreSkipsCustomLearners(t *testing.T) {
-	spec := testSpec(t, imp11Opts())
-	spec.Opts.Learner = func(ds *ml.Dataset, rng *rand.Rand) (pairs.Scorer, error) {
-		return constScorer{}, nil
-	}
-	if spec.Cacheable() {
-		t.Fatal("Learner spec reports cacheable")
-	}
-	store := NewStore(0, "")
-	for call := 0; call < 2; call++ {
-		art, stats, err := store.GetOrTrain(spec)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if stats.Level1 == 0 {
-			t.Fatalf("call %d did not train fresh", call)
-		}
-		if _, err := art.MarshalBinary(); err == nil {
-			t.Fatal("custom-learner artifact serialized without error")
-		}
-	}
-	if store.Len() != 0 {
-		t.Fatalf("store cached %d custom-learner artifacts", store.Len())
 	}
 }
 

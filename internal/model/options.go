@@ -11,7 +11,6 @@
 package model
 
 import (
-	"math/rand"
 	"runtime"
 
 	"repro/internal/features"
@@ -19,17 +18,11 @@ import (
 	"repro/internal/pairs"
 )
 
-// Learner trains a custom Scorer on a pair-sample dataset in place of the
-// default Bagging ensemble. The rng is an independent per-unit stream owned
-// by this call alone. Learner-trained models cannot be hashed or
-// serialized, so Specs carrying one bypass the Store and the codec.
-type Learner func(ds *ml.Dataset, rng *rand.Rand) (pairs.Scorer, error)
-
 // TrainOptions is the training-relevant slice of an attack configuration:
 // everything that influences the trained model's bits, plus the unhashed
-// presentation fields (Name) and execution fields (ScalarScoring, Learner).
-// attack.Config projects into this struct, so the options live in one place
-// instead of being re-derived by every training stage.
+// presentation fields (Name) and execution fields (ScalarScoring,
+// ShardVpins). attack.Config projects into this struct, so the options live
+// in one place instead of being re-derived by every training stage.
 type TrainOptions struct {
 	// Name labels the configuration in logs and artifact metadata. It does
 	// not influence training and is excluded from spec hashes.
@@ -63,9 +56,16 @@ type TrainOptions struct {
 	MaxLoCCount int
 	// TrainCap bounds the number of training samples (0 = unlimited).
 	TrainCap int
-	// Learner, when non-nil, replaces the Bagging ensemble. Such Specs are
-	// not cacheable.
-	Learner Learner
+	// Family selects the registered learner family ("" = FamilyBagging,
+	// the paper's ensemble). Every family hashes, caches, serializes, and
+	// checkpoints identically; see Family and the registry in family.go.
+	Family string
+	// MLPHidden, MLPEpochs, and MLPRate configure the mlp family's network
+	// (zero selects its defaults, resolved by WithDefaults). Other families
+	// ignore and never hash them.
+	MLPHidden int
+	MLPEpochs int
+	MLPRate   float64
 	// ScalarScoring forces the per-pair scalar oracle when the level-2
 	// stage scores training designs with the level-1 model. Results are
 	// bit-identical either way (the documented Ensemble/Bagging contract),
@@ -97,6 +97,23 @@ func (o TrainOptions) WithDefaults() TrainOptions {
 	if len(o.Features) == 0 {
 		o.Features = features.Set9()
 	}
+	// The zero value and the explicit name mean the same family; normalise
+	// to "" so default configurations hash (and serialize their Meta)
+	// exactly as they did before the family axis existed.
+	if o.Family == FamilyBagging {
+		o.Family = ""
+	}
+	if o.Family == FamilyMLP {
+		if o.MLPHidden <= 0 {
+			o.MLPHidden = 16
+		}
+		if o.MLPEpochs <= 0 {
+			o.MLPEpochs = 30
+		}
+		if o.MLPRate <= 0 {
+			o.MLPRate = 0.05
+		}
+	}
 	return o
 }
 
@@ -119,11 +136,12 @@ func (o TrainOptions) Filter(inst *pairs.Instance, radiusNorm float64) pairs.Fil
 	return inst.Filter(radiusNorm, o.LimitDiffVpinY)
 }
 
-// FeatureNames maps the configured feature indices to the paper's names.
+// FeatureNames maps the configured feature indices to their display names
+// (the paper's for the base block, the routing-hint names past it).
 func (o TrainOptions) FeatureNames() []string {
 	out := make([]string, len(o.Features))
 	for i, f := range o.Features {
-		out[i] = features.Names[f]
+		out[i] = features.Name(f)
 	}
 	return out
 }

@@ -19,6 +19,7 @@ func TrainingSet(o *obs.Context, opts TrainOptions, insts []*pairs.Instance,
 	radiusNorm float64, onlyVpins [][]int, rng *rand.Rand) *ml.Dataset {
 
 	ds := &ml.Dataset{}
+	width := features.Width(opts.Features)
 	for k, inst := range insts {
 		filter := opts.Filter(inst, radiusNorm)
 		n := inst.N()
@@ -32,13 +33,13 @@ func TrainingSet(o *obs.Context, opts TrainOptions, insts []*pairs.Instance,
 			if m < 0 || !selected[m] || !filter.Admits(a, m) {
 				continue
 			}
-			row := make([]float64, features.NumFeatures)
+			row := make([]float64, width)
 			inst.Ex.Pair(a, m, row)
 			ds.Add(row, true)
 
 			// Matched negative: a random admitted non-matching partner.
 			if b, ok := SampleNegative(filter, vpins, selected, a, m, rng); ok {
-				neg := make([]float64, features.NumFeatures)
+				neg := make([]float64, width)
 				inst.Ex.Pair(a, b, neg)
 				ds.Add(neg, false)
 			}

@@ -92,18 +92,14 @@ func (s Spec) Level1() Spec {
 	return s
 }
 
-// Cacheable reports whether the spec's artifact may be cached and
-// serialized: custom Learners produce opaque scorers with no canonical
-// content, so they always train fresh.
-func (s Spec) Cacheable() bool {
-	return s.Opts.Learner == nil
-}
-
 // Hash is the spec's canonical content address: a SHA-256 over a versioned
 // serialization of every training-relevant field. Fields that cannot change
 // the trained bits — Name, Workers, ScalarScoring (the documented
 // scalar/batch bit-identity contract), observability — are excluded, so
-// presentation differences still hit the cache.
+// presentation differences still hit the cache. The learner-specific
+// options are serialized by the spec's Family (HashOptions), whose bagging
+// implementation writes the exact bytes the pre-family format did — every
+// hash minted before the family axis existed is unchanged.
 func (s Spec) Hash() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "model-spec/v1\n")
@@ -119,7 +115,7 @@ func (s Spec) Hash() string {
 	fmt.Fprintf(&b, "features=%v\n", s.Opts.Features)
 	fmt.Fprintf(&b, "neighborhood=%t quantile=%016x ylimit=%t\n",
 		s.Opts.Neighborhood, math.Float64bits(s.Opts.NeighborQuantile), s.Opts.LimitDiffVpinY)
-	fmt.Fprintf(&b, "base=%d trees=%d traincap=%d\n", s.Opts.BaseKind, s.Opts.NumTrees, s.Opts.TrainCap)
+	mustFamily(s.Opts.Family).HashOptions(&b, s.Opts)
 	if s.Opts.TwoLevel {
 		// MaxLoCFrac bounds the level-1 candidate lists the level-2 stage
 		// draws negatives from; without TwoLevel it only affects scoring.

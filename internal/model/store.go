@@ -70,7 +70,7 @@ func NewStore(capacity int, dir string) *Store {
 // stage. Results are bit-identical to Train(spec) — cached artifacts came
 // from the same deterministic training streams.
 func (s *Store) GetOrTrain(spec Spec) (*Artifact, TrainStats, error) {
-	if s == nil || !spec.Cacheable() {
+	if s == nil {
 		return Train(spec)
 	}
 	l1Spec := spec.Level1()
@@ -176,7 +176,8 @@ func (s *Store) loadDisk(hash string) (*Artifact, bool) {
 
 // writeDisk persists a freshly trained artifact, best-effort: a read-only
 // or missing cache directory must not fail the training that produced the
-// artifact. Custom-Learner artifacts never reach here (not Cacheable).
+// artifact. Every family serializes through its registered codec, so no
+// artifact is exempt.
 func (s *Store) writeDisk(hash string, art *Artifact) {
 	path := s.diskPath(hash)
 	if path == "" {

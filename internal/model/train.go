@@ -2,7 +2,6 @@ package model
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +73,7 @@ func trainLevel1(spec Spec) (*Artifact, TrainStats, error) {
 		Meta: Meta{
 			SpecHash:     spec.Hash(),
 			Config:       spec.Opts.Name,
+			Family:       spec.Opts.Family,
 			Level:        1,
 			SplitLayer:   spec.SplitLayer,
 			Designs:      spec.Designs,
@@ -118,26 +118,25 @@ func TrainLevel2(spec Spec, l1 *Artifact) (*Artifact, TrainStats, error) {
 	return art, stats, nil
 }
 
-// trainUnit trains the spec's classifier from streams derived from
-// (Seed, unit, Fold): a custom Learner receives the stream whole, while
-// the default Bagging ensemble trains in parallel with tree t on stream
-// (Seed, unit, Fold, t) and is compiled into its flat-arena form. The
-// arena's Prob is bit-identical to the Bagging's (the documented Ensemble
-// contract), so compiling is always safe — and required for artifacts to
-// be serializable.
+// trainUnit trains the spec's classifier through its registered Family,
+// handing it the stream coordinates (Seed, unit, Fold). The bagging family
+// trains tree t on stream (Seed, unit, Fold, t) and compiles into its
+// flat-arena form, exactly as this function always did; other families draw
+// their own streams from the same coordinates, so every family's artifact
+// is bit-identical at any worker count.
 func trainUnit(spec Spec, ds *ml.Dataset, unit int64) (pairs.Scorer, error) {
-	if spec.Opts.Learner != nil {
-		return spec.Opts.Learner(ds, rng.Derive(spec.Seed, unit, int64(spec.Fold)))
-	}
-	streams := func(tree int) *rand.Rand {
-		return rng.Derive(spec.Seed, unit, int64(spec.Fold), int64(tree))
-	}
-	b, err := ml.TrainBaggingStreams(spec.Obs, ds, spec.Opts.NumTrees,
-		spec.Opts.TreeOptions(), streams, workerCount(spec.Workers, spec.Opts.NumTrees))
+	fam, err := FamilyByName(spec.Opts.Family)
 	if err != nil {
 		return nil, err
 	}
-	return b.Compile(), nil
+	return fam.Train(TrainContext{
+		Obs:     spec.Obs,
+		Opts:    spec.Opts,
+		Seed:    spec.Seed,
+		Unit:    unit,
+		Fold:    spec.Fold,
+		Workers: spec.Workers,
+	}, ds)
 }
 
 // level2Sample is one two-level-pruning training row: a feature vector and
@@ -210,11 +209,12 @@ func level2Samples(spec Spec, inst *pairs.Instance, l1 pairs.Scorer, workers, in
 	filter := spec.Opts.Filter(inst, spec.RadiusNorm)
 	lists := candidateLists(spec, inst, l1, workers)
 	negRng := rng.Derive(spec.Seed, UnitLevel2Neg, int64(spec.Fold), int64(instIdx))
+	width := features.Width(spec.Opts.Features)
 	var out []level2Sample
 	for a := 0; a < inst.N(); a++ {
 		m := inst.Match(a)
 		if m >= 0 && filter.Admits(a, m) {
-			row := make([]float64, features.NumFeatures)
+			row := make([]float64, width)
 			inst.Ex.Pair(a, m, row)
 			out = append(out, level2Sample{row: row, pos: true})
 		}
@@ -234,7 +234,7 @@ func level2Samples(spec Spec, inst *pairs.Instance, l1 pairs.Scorer, workers, in
 			continue
 		}
 		pick := loc[negRng.Intn(len(loc))]
-		row := make([]float64, features.NumFeatures)
+		row := make([]float64, width)
 		inst.Ex.Pair(a, int(pick.Other), row)
 		out = append(out, level2Sample{row: row, pos: false})
 	}
@@ -254,10 +254,11 @@ func candidateLists(spec Spec, inst *pairs.Instance, l1 pairs.Scorer, workers in
 	if c := spec.Opts.MaxLoCCount; c > 0 && c < capPer {
 		capPer = c
 	}
-	lists, _ := pairs.ScoreLists(filter, pairs.ResolveBackend(l1, spec.Opts.ScalarScoring), pairs.StreamOptions{
+	lists, _ := pairs.ScoreLists(filter, pairs.ResolveBackendObs(spec.Obs, l1, spec.Opts.ScalarScoring), pairs.StreamOptions{
 		Cap:        capPer,
 		ShardVpins: spec.Opts.ShardVpins,
 		Workers:    workers,
+		Stride:     features.Width(spec.Opts.Features),
 	})
 	return lists
 }

@@ -1,6 +1,9 @@
 package pairs
 
-import "repro/internal/features"
+import (
+	"repro/internal/features"
+	"repro/internal/obs"
+)
 
 // Gatherer is one scoring worker's reusable arena: it collects a v-pin's
 // admitted candidates (ids, distances, feature rows) and scores them
@@ -19,8 +22,13 @@ type Gatherer struct {
 	// pruning gate-rejected candidates score -1, exactly like the scalar
 	// TwoLevel composition.
 	P []float64
+	// Stride is the feature-row width; zero selects features.NumFeatures,
+	// the width of every pre-existing configuration. Configurations whose
+	// feature set reaches into the routing-hint block set the wider
+	// features.Width of their set.
+	Stride int
 	// rows is the row-major feature matrix: candidate k occupies
-	// rows[k*features.NumFeatures : (k+1)*features.NumFeatures].
+	// rows[k*stride : (k+1)*stride].
 	rows []float64
 	// p2 holds level-2 probabilities of the gate's survivors.
 	p2 []float64
@@ -31,11 +39,19 @@ type Gatherer struct {
 	BatchRows int64
 }
 
+// rowStride resolves the arena's feature-row width.
+func (g *Gatherer) rowStride() int {
+	if g.Stride > 0 {
+		return g.Stride
+	}
+	return features.NumFeatures
+}
+
 // Gather collects v-pin a's admitted candidates under the filter: ids,
 // distances, and the feature matrix, in the canonical enumeration order.
 // Previously gathered state is discarded.
 func (g *Gatherer) Gather(f Filter, a int) {
-	const stride = features.NumFeatures
+	stride := g.rowStride()
 	inst := f.inst
 	g.Ids = g.Ids[:0]
 	g.D = g.D[:0]
@@ -77,13 +93,25 @@ type Backend interface {
 }
 
 // ResolveBackend resolves a trained model into its scoring backend. Models
-// whose every level implements BatchScorer get the batched path; custom
-// scalar-only Learners, mixed two-level compositions, and the forceScalar
+// whose every level implements BatchScorer get the batched path;
+// scalar-only scorers, mixed two-level compositions, and the forceScalar
 // oracle (Config.ScalarScoring) fall back to per-row Prob over the same
 // arena. A two-level model batches only when both levels do: mixing a
 // batched level with a scalar one would complicate the contract for no
-// caller that exists.
+// caller that exists. ResolveBackendObs is the observable variant; this one
+// reports nothing.
 func ResolveBackend(model Scorer, forceScalar bool) Backend {
+	return ResolveBackendObs(nil, model, forceScalar)
+}
+
+// ResolveBackendObs is ResolveBackend reporting silent fast-path losses: a
+// two-level composition with exactly one batch-capable level falls back to
+// the scalar oracle, and that fallback — easy to cause by composing a
+// batched level with a scalar-only family's level, and invisible in
+// results because the two paths are bit-identical — increments the
+// pairs.backend.scalar_fallback counter so the perf regression shows in
+// /metrics. A nil obs context reports nothing (obs methods are nil-safe).
+func ResolveBackendObs(o *obs.Context, model Scorer, forceScalar bool) Backend {
 	if !forceScalar {
 		switch m := model.(type) {
 		case *TwoLevel:
@@ -92,6 +120,11 @@ func ResolveBackend(model Scorer, forceScalar bool) Backend {
 			if ok1 && ok2 {
 				return &batchBackend{b1: b1, b2: b2}
 			}
+			if ok1 != ok2 {
+				o.Metrics().Counter("pairs.backend.scalar_fallback").Inc()
+				o.Log().Debug("two-level composition falls back to scalar scoring",
+					"level1_batched", ok1, "level2_batched", ok2)
+			}
 		case BatchScorer:
 			return &batchBackend{b1: m}
 		}
@@ -99,8 +132,12 @@ func ResolveBackend(model Scorer, forceScalar bool) Backend {
 	return &scalarBackend{model: model}
 }
 
-// Batched reports whether the backend is the batched fast path.
+// Batched reports whether the backend is the batched fast path, looking
+// through a Ranked wrapper at the scoring path underneath.
 func Batched(b Backend) bool {
+	if r, ok := b.(*rankedBackend); ok {
+		b = r.inner
+	}
 	_, ok := b.(*batchBackend)
 	return ok
 }
@@ -112,7 +149,7 @@ type scalarBackend struct {
 }
 
 func (s *scalarBackend) score(g *Gatherer) {
-	const stride = features.NumFeatures
+	stride := g.rowStride()
 	for k := range g.Ids {
 		g.P[k] = s.model.Prob(g.rows[k*stride : (k+1)*stride])
 	}
@@ -131,7 +168,7 @@ type batchBackend struct {
 }
 
 func (eng *batchBackend) score(g *Gatherer) {
-	const stride = features.NumFeatures
+	stride := g.rowStride()
 	k := len(g.Ids)
 	eng.b1.ProbBatch(g.rows, stride, g.P)
 	g.Batches++

@@ -23,6 +23,10 @@ type StreamOptions struct {
 	// Workers bounds the scoring goroutines; zero or negative selects
 	// GOMAXPROCS. Results are bit-identical at any worker count.
 	Workers int
+	// Stride is the feature-row width each worker's Gatherer uses; zero
+	// selects features.NumFeatures. Callers whose feature set reaches into
+	// the routing-hint block pass features.Width of their set.
+	Stride int
 	// Visit, when non-nil, observes every scored arena before retention:
 	// it is called once per target v-pin with the gathered ids, distances,
 	// and probabilities. Calls happen concurrently for different v-pins but
@@ -92,7 +96,7 @@ func ScoreLists(f Filter, backend Backend, opts StreamOptions) ([][]Candidate, S
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			var g Gatherer
+			g := Gatherer{Stride: opts.Stride}
 			var h TopK
 			var scored, kept int64
 			// spans defers list fix-up to the end of the region: the arena

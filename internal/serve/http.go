@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/attack"
 	"repro/internal/layout"
+	"repro/internal/model"
 	"repro/internal/obs"
 )
 
@@ -40,6 +42,7 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 //	DELETE /jobs/{id}        cancel a pending or running job
 //	GET    /jobs/{id}/result the Result document of a done job
 //	GET    /designs          the suite design names jobs may target
+//	GET    /configs          the config presets and learner families
 //
 // plus the obs telemetry endpoints (/metrics, /progress, /spans, /healthz,
 // /debug/pprof) mounted on the same mux, so one address serves both the
@@ -54,9 +57,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /designs", s.handleDesigns)
+	mux.HandleFunc("GET /configs", s.handleConfigs)
 	endpoints := append([]string{
 		"POST /jobs", "GET /jobs", "GET /jobs/{id}", "DELETE /jobs/{id}",
-		"GET /jobs/{id}/result", "GET /designs",
+		"GET /jobs/{id}/result", "GET /designs", "GET /configs",
 	}, obsEndpoints...)
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -195,6 +199,60 @@ func (s *Server) handleDesigns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obs.ServeJSON(w, suiteDesigns(tier, s.opts.DefaultScale, s.opts.DefaultSeed))
+}
+
+// configInfo summarises one named preset for GET /configs: enough to pick
+// a preset without consulting the source. Learner is always spelled out
+// ("bagging" rather than the empty default) — the wire form never leaks the
+// zero-value compatibility alias.
+type configInfo struct {
+	Name         string `json:"name"`
+	Learner      string `json:"learner"`
+	Features     int    `json:"features"`
+	Neighborhood bool   `json:"neighborhood"`
+	TwoLevel     bool   `json:"two_level,omitempty"`
+	Ranking      bool   `json:"ranking,omitempty"`
+}
+
+// configsResponse is the GET /configs document.
+type configsResponse struct {
+	// Tier echoes the resolved suite tier the presets would run against.
+	Tier string `json:"tier"`
+	// Presets are the named configurations a ConfigSpec may reference.
+	Presets []configInfo `json:"presets"`
+	// Learners are the registered learner-family names a ConfigSpec's
+	// learner field accepts.
+	Learners []string `json:"learners"`
+}
+
+// handleConfigs lists the named attack-config presets and the registered
+// learner families a job spec may select. The ?tier= query mirrors
+// /designs: it validates against the suite tiers (400 on an unknown one)
+// and is echoed in the response, so clients can pair the preset list with
+// the design list of the same tier.
+func (s *Server) handleConfigs(w http.ResponseWriter, r *http.Request) {
+	tier := r.URL.Query().Get("tier")
+	if tier == "" {
+		tier = s.opts.DefaultTier
+	}
+	if !layout.ValidTier(tier) {
+		writeError(w, http.StatusBadRequest, "invalid_spec",
+			"unknown tier %q (want %v)", tier, layout.Tiers())
+		return
+	}
+	presets := attack.ConfigPresets()
+	infos := make([]configInfo, 0, len(presets))
+	for _, c := range presets {
+		fam := c.Family
+		if fam == "" {
+			fam = model.FamilyBagging
+		}
+		infos = append(infos, configInfo{
+			Name: c.Name, Learner: fam, Features: len(c.Features),
+			Neighborhood: c.Neighborhood, TwoLevel: c.TwoLevel, Ranking: c.Ranking,
+		})
+	}
+	obs.ServeJSON(w, configsResponse{Tier: tier, Presets: infos, Learners: model.Families()})
 }
 
 // noStatusWriter suppresses the WriteHeader a JSON helper would issue

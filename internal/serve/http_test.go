@@ -263,6 +263,68 @@ func TestHTTPErrors(t *testing.T) {
 	}
 }
 
+// TestHTTPConfigs checks GET /configs lists every named preset and every
+// registered learner family, validates the tier query like /designs, and
+// spells out the bagging default instead of the zero-value alias.
+func TestHTTPConfigs(t *testing.T) {
+	_, ts := httpFixture(t, Options{Pool: 1, runner: stubRunner})
+
+	var doc configsResponse
+	if resp := doJSON(t, "GET", ts.URL+"/configs", "", &doc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /configs = %d, want 200", resp.StatusCode)
+	}
+	if doc.Tier != "standard" {
+		t.Errorf("default tier %q, want standard", doc.Tier)
+	}
+	byName := map[string]configInfo{}
+	for _, p := range doc.Presets {
+		if p.Learner == "" {
+			t.Errorf("preset %s has an empty learner; the wire form must spell out the default", p.Name)
+		}
+		byName[p.Name] = p
+	}
+	for _, name := range []string{"ML-9", "Imp-11", "Imp-11Y", "DL-MLP", "DL-MLP-rank"} {
+		if _, ok := byName[name]; !ok {
+			t.Errorf("preset %s missing from /configs", name)
+		}
+	}
+	if p := byName["Imp-11"]; p.Learner != "bagging" || p.Features != 11 {
+		t.Errorf("Imp-11 = %+v", p)
+	}
+	if p := byName["DL-MLP-rank"]; p.Learner != "mlp" || !p.Ranking {
+		t.Errorf("DL-MLP-rank = %+v", p)
+	}
+	families := map[string]bool{}
+	for _, f := range doc.Learners {
+		families[f] = true
+	}
+	for _, f := range []string{"bagging", "mlp", "logistic"} {
+		if !families[f] {
+			t.Errorf("family %s missing from /configs learners %v", f, doc.Learners)
+		}
+	}
+
+	// Explicit tier echoes; unknown tier answers 400 with the envelope.
+	if resp := doJSON(t, "GET", ts.URL+"/configs?tier=industrial", "", &doc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /configs?tier=industrial = %d, want 200", resp.StatusCode)
+	}
+	if doc.Tier != "industrial" {
+		t.Errorf("tier echo %q, want industrial", doc.Tier)
+	}
+	resp, err := http.Get(ts.URL + "/configs?tier=galactic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown tier = %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if code := errCode(t, resp, string(body), "/configs"); code != "invalid_spec" {
+		t.Errorf("unknown tier code %q, want invalid_spec", code)
+	}
+}
+
 // TestHTTPIndexListsEndpoints checks the index mentions every route.
 func TestHTTPIndexListsEndpoints(t *testing.T) {
 	_, ts := httpFixture(t, Options{Pool: 1, runner: stubRunner})
@@ -273,7 +335,7 @@ func TestHTTPIndexListsEndpoints(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	for _, ep := range []string{"POST /jobs", "GET /jobs/{id}/result", "DELETE /jobs/{id}",
-		"/metrics", "/progress", "/healthz"} {
+		"GET /designs", "GET /configs", "/metrics", "/progress", "/healthz"} {
 		if !strings.Contains(string(body), ep) {
 			t.Errorf("index missing %q:\n%s", ep, body)
 		}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/layout"
+	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/split"
 )
@@ -141,6 +142,58 @@ func TestServeBitIdentity(t *testing.T) {
 	}
 	if res.Attack.MaxAccuracy != ev.MaxAccuracy() {
 		t.Errorf("served max accuracy %v != direct %v", res.Attack.MaxAccuracy, ev.MaxAccuracy())
+	}
+}
+
+// TestServeMLPBitIdentity extends the core contract to the MLP family: a
+// DL-MLP job served over the job layer must be digest-identical to the same
+// configuration run directly — family selection travels the wire losslessly.
+func TestServeMLPBitIdentity(t *testing.T) {
+	s := newTestServer(t, Options{Pool: 1})
+	seed := testSeed
+	job, err := s.Submit(JobSpec{
+		Kind: KindAttack, Design: "sb1", Layer: 8, Scale: testScale, Seed: &seed,
+		Config: &ConfigSpec{Preset: "DL-MLP", MLPEpochs: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, job, 10*time.Minute)
+	st := s.Status(job)
+	if st.State != StateDone {
+		t.Fatalf("job state %s, error %q", st.State, st.Error)
+	}
+	res, ok := s.Result(job)
+	if !ok || res.Attack == nil {
+		t.Fatalf("no attack result (ok=%v)", ok)
+	}
+
+	designs, err := layout.GenerateSuite(layout.SuiteConfig{Scale: testScale, Seed: testSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := -1
+	chs := make([]*split.Challenge, len(designs))
+	for i, d := range designs {
+		if chs[i], err = split.NewChallenge(d, 8); err != nil {
+			t.Fatal(err)
+		}
+		if d.Name == "sb1" {
+			target = i
+		}
+	}
+	cfg, ok := attack.ConfigByName("DL-MLP")
+	if !ok {
+		t.Fatal("DL-MLP preset not registered")
+	}
+	cfg.Seed = testSeed
+	cfg.MLPEpochs = 3
+	ev, _, err := attack.RunTargetInstances(cfg, attack.NewInstances(chs), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Attack.EvalDigest, ev.Digest(); got != want {
+		t.Errorf("served mlp digest %s != direct digest %s", got, want)
 	}
 }
 
@@ -294,6 +347,8 @@ func TestServeSpecValidation(t *testing.T) {
 		{"bad preset", JobSpec{Kind: KindAttack, Design: "sb1", Config: &ConfigSpec{Preset: "GPT-9"}}},
 		{"bad layer", JobSpec{Kind: KindAttack, Design: "sb1", Layer: 11, Config: &ConfigSpec{Preset: "ML-9"}}},
 		{"bad base", JobSpec{Kind: KindAttack, Design: "sb1", Config: &ConfigSpec{Preset: "ML-9", Base: "xgboost"}}},
+		{"bad learner", JobSpec{Kind: KindAttack, Design: "sb1", Config: &ConfigSpec{Preset: "ML-9", Learner: "xgboost"}}},
+		{"bad sweep learner", JobSpec{Kind: KindSweep, Configs: []ConfigSpec{{Preset: "ML-9", Learner: "nope"}}}},
 		{"empty config", JobSpec{Kind: KindAttack, Design: "sb1", Config: &ConfigSpec{}}},
 		{"sweep with config", JobSpec{Kind: KindSweep, Config: &ConfigSpec{Preset: "ML-9"}}},
 		{"attack with configs", JobSpec{Kind: KindAttack, Design: "sb1",
@@ -341,6 +396,28 @@ func TestServeConfigSpecResolve(t *testing.T) {
 	}
 	if _, err := (ConfigSpec{Name: "custom", Features: []int{0, 1, 99}}).resolve(); err == nil {
 		t.Error("out-of-range feature index accepted")
+	}
+
+	// The learner family axis maps onto the engine config, knobs included.
+	on := true
+	cs3 := ConfigSpec{Preset: "Imp-11", Learner: model.FamilyMLP,
+		MLPHidden: 24, MLPEpochs: 5, MLPRate: 0.1, Ranking: &on}
+	cfg3, err := cs3.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg3.Family != model.FamilyMLP || cfg3.MLPHidden != 24 ||
+		cfg3.MLPEpochs != 5 || cfg3.MLPRate != 0.1 || !cfg3.Ranking {
+		t.Errorf("mlp learner resolution = %+v", cfg3)
+	}
+	// The DL-MLP preset's ranking head can be toggled off.
+	offR := false
+	cfg4, err := (ConfigSpec{Preset: "DL-MLP-rank", Ranking: &offR}).resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg4.Ranking || cfg4.Family != model.FamilyMLP {
+		t.Errorf("ranking override off failed: %+v", cfg4)
 	}
 }
 

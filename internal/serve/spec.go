@@ -107,6 +107,18 @@ type ConfigSpec struct {
 	ShardVpins int `json:"shard_vpins,omitempty"`
 	// TrainCap bounds training samples (0 = unlimited).
 	TrainCap int `json:"train_cap,omitempty"`
+	// Learner selects the learner family by registry name ("bagging" —
+	// the default — "mlp", or "logistic"); unknown names are rejected at
+	// submission time. See GET /configs for the registered families.
+	Learner string `json:"learner,omitempty"`
+	// MLPHidden, MLPEpochs, and MLPRate tune the MLP family (0 = the
+	// engine defaults 16/30/0.05); other families ignore them.
+	MLPHidden int     `json:"mlp_hidden,omitempty"`
+	MLPEpochs int     `json:"mlp_epochs,omitempty"`
+	MLPRate   float64 `json:"mlp_rate,omitempty"`
+	// Ranking toggles the list-wise ranking head (softmax over each
+	// v-pin's candidate list; rankings and accuracy metrics unchanged).
+	Ranking *bool `json:"ranking,omitempty"`
 	// ScalarScoring disables the batched scoring fast path (results are
 	// bit-identical either way; this is the slow correctness oracle).
 	ScalarScoring bool `json:"scalar_scoring,omitempty"`
@@ -167,6 +179,21 @@ func (cs ConfigSpec) resolve() (attack.Config, error) {
 	}
 	if cs.TrainCap != 0 {
 		cfg.TrainCap = cs.TrainCap
+	}
+	if cs.Learner != "" {
+		cfg.Family = cs.Learner
+	}
+	if cs.MLPHidden != 0 {
+		cfg.MLPHidden = cs.MLPHidden
+	}
+	if cs.MLPEpochs != 0 {
+		cfg.MLPEpochs = cs.MLPEpochs
+	}
+	if cs.MLPRate != 0 {
+		cfg.MLPRate = cs.MLPRate
+	}
+	if cs.Ranking != nil {
+		cfg.Ranking = *cs.Ranking
 	}
 	if cs.ScalarScoring {
 		cfg.ScalarScoring = true

@@ -46,8 +46,8 @@ type Unit struct {
 	// digest, hence part of the unit's identity).
 	Config string `json:"config"`
 	// Spec is the configuration's content hash (attack.Config.OptionsHash).
-	// Configurations with custom Learners have no canonical hash and are
-	// not representable as units.
+	// Every registered learner family hashes canonically, so every
+	// configuration is representable as a unit.
 	Spec string `json:"spec"`
 	// Layer is the split (via) layer.
 	Layer int `json:"layer"`

@@ -22,11 +22,11 @@ package repro
 
 import (
 	"io"
-	"math/rand"
 
 	"repro/internal/attack"
 	"repro/internal/layout"
 	"repro/internal/ml"
+	"repro/internal/model"
 	"repro/internal/obfuscate"
 	"repro/internal/sim"
 	"repro/internal/split"
@@ -140,19 +140,33 @@ func WithRandomForest(c AttackConfig, trees int) AttackConfig {
 // Scorer is the classifier interface the attack engine consumes.
 type Scorer = attack.Scorer
 
-// Learner trains a custom classifier for the attack (see
-// AttackConfig.Learner).
-type Learner = attack.Learner
-
-// WithLogistic switches the configuration's classifier to L2-regularised
+// WithLogistic switches the configuration's learner family to L2-regularised
 // logistic regression — a linear reference point between the prior work's
-// linear regression and the paper's tree ensembles.
+// linear regression and the paper's tree ensembles. Like every registered
+// family, it is hashable and serializable, so logistic runs cache and
+// checkpoint exactly like the tree ensembles.
 func WithLogistic(c AttackConfig) AttackConfig {
-	c.Learner = func(ds *ml.Dataset, cfg AttackConfig, rng *rand.Rand) (Scorer, error) {
-		return ml.TrainLogistic(ds, ml.LogisticOptions{Features: cfg.Features}, rng)
-	}
-	return c
+	return attack.WithFamily(c, model.FamilyLogistic)
 }
+
+// WithMLP switches the configuration's learner family to the from-scratch
+// multi-layer perceptron of the DL-perspective attack (Li et al.,
+// DAC'19/TCAD'20). Combine with WithRanking for the full recast.
+func WithMLP(c AttackConfig) AttackConfig {
+	return attack.WithFamily(c, model.FamilyMLP)
+}
+
+// WithRanking enables the list-wise ranking head: every scored v-pin's
+// candidate list is softmax-normalised into a probability distribution over
+// its candidates. Rankings, CCR, and accuracy-at-K are unchanged; score
+// scales seen by threshold sweeps differ.
+func WithRanking(c AttackConfig) AttackConfig {
+	return attack.WithRanking(c)
+}
+
+// DLMLP is the DL-perspective configuration: the widened feature set
+// including routing hints, neighborhood sampling, and the MLP family.
+func DLMLP() AttackConfig { return attack.DLMLP() }
 
 // DefenseCost quantifies what an obfuscation transform costs the design.
 type DefenseCost = obfuscate.Cost
